@@ -1,0 +1,90 @@
+"""Ablation — read tail latency under garbage collection (the write cliff).
+
+Not a paper figure, but the FTL behaviour every SSD evaluation implicitly
+depends on: on a quiet device reads are flat; under sustained random
+overwrites the collector competes for dies and channels and the read tail
+stretches.  This bench quantifies the model's cliff.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import format_series_table
+from repro.ecc import CodewordLayout, EccConfig, EccEngine
+from repro.flash import BitErrorModel, FlashArray, FlashGeometry
+from repro.ftl import FlashTranslationLayer, FtlConfig
+from repro.sim import Simulator
+
+GEO = FlashGeometry(
+    channels=2, dies_per_channel=2, planes_per_die=1, blocks_per_plane=10,
+    pages_per_block=16, page_size=2048,
+)
+PROBES = 200
+
+
+def measure(read_while_writing: bool) -> dict:
+    sim = Simulator(seed=21)
+    flash = FlashArray(sim, geometry=GEO, error_model=BitErrorModel(rber0=1e-9),
+                       store_data=False)
+    ecc = EccEngine(sim, EccConfig(layout=CodewordLayout(data_bytes=2048)))
+    ftl = FlashTranslationLayer(
+        sim, flash, ecc, config=FtlConfig(op_ratio=0.2, write_buffer_pages=16)
+    )
+    rng = sim.rng("workload")
+    logical = ftl.logical_pages
+
+    def fill():
+        for lpn in range(logical):
+            yield from ftl.write(lpn, None)
+        yield from ftl.flush()
+
+    sim.run(sim.process(fill()))
+
+    latencies: list[float] = []
+    writer_done = []
+
+    def writer():
+        for lpn in rng.integers(0, logical, size=2500):
+            yield from ftl.write(int(lpn), None)
+        yield from ftl.flush()
+        writer_done.append(True)
+
+    def reader():
+        probes = rng.integers(0, logical, size=PROBES)
+        for lpn in probes:
+            start = sim.now
+            yield from ftl.read(int(lpn))
+            latencies.append(sim.now - start)
+            yield sim.timeout(50e-6)
+
+    if read_while_writing:
+        sim.process(writer())
+    sim.run(sim.process(reader()))
+    sim.run()
+    return {
+        "mode": "under GC churn" if read_while_writing else "idle",
+        "p50_us": float(np.percentile(latencies, 50)) * 1e6,
+        "p99_us": float(np.percentile(latencies, 99)) * 1e6,
+        "gc_collections": ftl.gc.collections,
+    }
+
+
+def test_ablation_gc_interference(benchmark):
+    def experiment():
+        return measure(False), measure(True)
+
+    idle, busy = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print("\n" + format_series_table(
+        "Ablation — read latency percentiles, idle vs sustained overwrites",
+        ["mode", "p50 (us)", "p99 (us)", "GC collections"],
+        [[r["mode"], r["p50_us"], r["p99_us"], r["gc_collections"]]
+         for r in (idle, busy)],
+    ))
+
+    # GC really ran in the churn case and not in the idle case
+    assert idle["gc_collections"] == 0
+    assert busy["gc_collections"] > 0
+    # the cliff: the busy tail stretches well beyond the idle tail
+    assert busy["p99_us"] > 1.5 * idle["p99_us"]
+    # but medians stay in the same decade (GC steals dies, not everything)
+    assert busy["p50_us"] < 10 * idle["p50_us"]

@@ -1,0 +1,71 @@
+"""Ablation — write amplification vs over-provisioning.
+
+The textbook FTL trade-off the 24 TB drive's economics hinge on: more spare
+area means cheaper GC (victims are emptier) at the cost of sellable
+capacity.  Random small overwrites across the full logical space, swept
+over OP ratios — WA must fall monotonically (within noise) as OP grows.
+"""
+
+from repro.analysis.experiments import format_series_table
+from repro.ecc import CodewordLayout, EccConfig, EccEngine
+from repro.flash import BitErrorModel, FlashArray, FlashGeometry
+from repro.ftl import FlashTranslationLayer, FtlConfig
+from repro.sim import Simulator
+
+GEO = FlashGeometry(
+    channels=2, dies_per_channel=2, planes_per_die=1, blocks_per_plane=12,
+    pages_per_block=16, page_size=2048,
+)
+OP_RATIOS = (0.10, 0.20, 0.35, 0.50)
+WRITES = 3000
+
+
+def run_op_ratio(op_ratio: float) -> dict:
+    sim = Simulator(seed=17)
+    flash = FlashArray(sim, geometry=GEO, error_model=BitErrorModel(rber0=1e-9),
+                       store_data=False)
+    ecc = EccEngine(sim, EccConfig(layout=CodewordLayout(data_bytes=2048)))
+    ftl = FlashTranslationLayer(
+        sim, flash, ecc,
+        config=FtlConfig(op_ratio=op_ratio, write_buffer_pages=16),
+    )
+    rng = sim.rng("workload")
+    logical = ftl.logical_pages
+
+    def churn():
+        # fill once, then uniform random overwrites
+        for lpn in range(logical):
+            yield from ftl.write(lpn, None)
+        for lpn in rng.integers(0, logical, size=WRITES):
+            yield from ftl.write(int(lpn), None)
+        yield from ftl.flush()
+
+    sim.run(sim.process(churn()))
+    return {
+        "op_ratio": op_ratio,
+        "wa": ftl.write_amplification(),
+        "gc_collections": ftl.gc.collections,
+        "relocated": ftl.gc.pages_relocated,
+    }
+
+
+def test_ablation_overprovisioning(benchmark):
+    def experiment():
+        return [run_op_ratio(op) for op in OP_RATIOS]
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print("\n" + format_series_table(
+        f"Ablation — WA vs over-provisioning ({WRITES} uniform overwrites)",
+        ["OP ratio", "write amplification", "GC collections", "pages relocated"],
+        [[r["op_ratio"], r["wa"], r["gc_collections"], r["relocated"]] for r in rows],
+    ))
+
+    was = [r["wa"] for r in rows]
+    # all sane (uniform-random WA at 10% OP is ~5 in the literature, and
+    # that is exactly where this lands)
+    assert all(1.0 <= wa < 8.0 for wa in was)
+    # monotone: thin OP pays the most, generous OP the least
+    assert was == sorted(was, reverse=True)
+    # and the drop is substantial (the economics of spare area)
+    assert was[0] > 2.5 * was[-1]

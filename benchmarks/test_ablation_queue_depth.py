@@ -1,0 +1,77 @@
+"""Ablation — IO throughput vs queue depth (the canonical SSD curve).
+
+Small random reads through the NVMe path: at QD 1 each read pays the full
+serialized latency; deeper queues overlap die and channel accesses until
+the media's internal parallelism saturates.  The model must reproduce the
+rise-then-flatten curve every SSD datasheet shows.
+"""
+
+from repro.analysis.experiments import format_series_table
+from repro.ecc import CodewordLayout, EccConfig, EccEngine
+from repro.flash import BitErrorModel, FlashArray, FlashGeometry
+from repro.ftl import FlashTranslationLayer
+from repro.nvme import NvmeCommand, NvmeController, Opcode
+from repro.sim import Simulator
+
+GEO = FlashGeometry(
+    channels=4, dies_per_channel=2, planes_per_die=1, blocks_per_plane=8,
+    pages_per_block=16, page_size=4096,
+)
+QUEUE_DEPTHS = (1, 2, 4, 8, 16, 32)
+READS_PER_WORKER = 40
+
+
+def measure_iops(queue_depth: int) -> float:
+    sim = Simulator(seed=31)
+    flash = FlashArray(sim, geometry=GEO, error_model=BitErrorModel(rber0=1e-9),
+                       store_data=False)
+    ecc = EccEngine(sim, EccConfig(layout=CodewordLayout(data_bytes=2048)))
+    ftl = FlashTranslationLayer(sim, flash, ecc)
+    ctrl = NvmeController(sim, ftl, workers_per_queue=64)
+    rng = sim.rng("qd")
+    logical = ftl.logical_pages
+
+    def fill():
+        for lpn in range(logical):
+            yield from ftl.write(lpn, None)
+        yield from ftl.flush()
+
+    sim.run(sim.process(fill()))
+    start = sim.now
+    total_reads = queue_depth * READS_PER_WORKER
+
+    def worker(lpns):
+        for lpn in lpns:
+            completion = yield from ctrl.queue(0).call(
+                NvmeCommand(opcode=Opcode.READ, slba=int(lpn))
+            )
+            assert completion.ok
+
+    procs = [
+        sim.process(worker(rng.integers(0, logical, size=READS_PER_WORKER)))
+        for _ in range(queue_depth)
+    ]
+    sim.run(sim.all_of(procs))
+    return total_reads / (sim.now - start)
+
+
+def test_ablation_queue_depth(benchmark):
+    def experiment():
+        return {qd: measure_iops(qd) for qd in QUEUE_DEPTHS}
+
+    iops = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print("\n" + format_series_table(
+        "Ablation — 4K random read IOPS vs queue depth",
+        ["QD", "IOPS", "scaling vs QD1"],
+        [[qd, iops[qd], iops[qd] / iops[1]] for qd in QUEUE_DEPTHS],
+    ))
+
+    # rises with queue depth...
+    assert iops[4] > 2.0 * iops[1]
+    assert iops[8] > iops[4]
+    # ...and saturates near the media's parallelism (8 dies): going from
+    # QD16 to QD32 buys little
+    assert iops[32] < 1.3 * iops[16]
+    # saturated throughput exceeds 6x QD1 (8 dies minus bus overlap)
+    assert iops[32] > 5.0 * iops[1]

@@ -1,0 +1,34 @@
+"""Fig. 1 — bandwidth mismatch in high-capacity storage servers.
+
+Paper numbers: 16 ch x 533 MB/s ≈ 8.5 GB/s media per SSD; 2 GB/s-class
+per-SSD PCIe link; 16 GB/s host PCIe; at 64 SSDs the aggregate media
+bandwidth (~545 GB/s) exceeds what the host can ingest by well over an
+order of magnitude.
+"""
+
+from repro.analysis.experiments import format_series_table
+from repro.analysis.figures import run_fig1
+
+
+def test_fig1_bandwidth_mismatch(benchmark):
+    rows = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+
+    print("\n" + format_series_table(
+        "Fig. 1 — media vs host bandwidth (GB/s)",
+        ["SSDs", "aggregate media", "per-SSD link", "host ingest", "mismatch x"],
+        [[r.ssd_count, r.media_bandwidth_bps / 1e9, r.endpoint_link_bps / 1e9,
+          r.host_ingest_bps / 1e9, r.mismatch] for r in rows],
+    ))
+
+    by_count = {r.ssd_count: r for r in rows}
+    # per-SSD media bandwidth ~8.5 GB/s (16 x 533 MB/s)
+    assert abs(by_count[1].media_bandwidth_bps - 8.528e9) < 1e7
+    # 64 SSDs: ~545 GB/s aggregate media, exactly the paper's figure
+    assert abs(by_count[64].media_bandwidth_bps - 545.8e9) / 545.8e9 < 0.01
+    # host ingest is a 16-lane Gen3 ceiling: 12-16 GB/s effective
+    assert 12e9 < by_count[64].host_ingest_bps < 16e9
+    # the mismatch exceeds an order of magnitude well before 64 SSDs
+    assert by_count[16].mismatch > 8
+    assert by_count[64].mismatch > 30
+    # host ingest does not grow with device count (the funnel)
+    assert by_count[64].host_ingest_bps == by_count[1].host_ingest_bps

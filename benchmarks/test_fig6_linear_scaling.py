@@ -1,0 +1,38 @@
+"""Fig. 6 — performance scales linearly with the number of CompStors.
+
+The paper's weak-scaling experiment: fixed input per device, 1..N devices,
+aggregate throughput grows linearly.  We regenerate the series for an
+IO-bound app (grep) and a compute-bound app (gzip) and fit a line.
+"""
+
+import pytest
+
+from repro.analysis.experiments import format_series_table
+from repro.analysis.figures import fig6_linearity, run_fig6
+
+DEVICE_COUNTS = (1, 2, 4)
+
+
+@pytest.mark.parametrize("app", ["grep", "gawk", "gzip", "bzip2"])
+def test_fig6_linear_scaling(benchmark, app):
+    results = benchmark.pedantic(
+        run_fig6, kwargs={"app": app, "device_counts": DEVICE_COUNTS},
+        rounds=1, iterations=1,
+    )
+    slope, intercept, r2 = fig6_linearity(results)
+
+    print("\n" + format_series_table(
+        f"Fig. 6 — {app} throughput vs device count",
+        ["devices", "MB/s"],
+        [[n, tp] for n, tp in results],
+    ) + f"\nfit: slope={slope:.2f} MB/s/device, r^2={r2:.4f}")
+
+    # linear in device count, with a meaningful slope
+    assert r2 > 0.98, f"{app} scaling is not linear: r^2={r2}"
+    assert slope > 0
+    # doubling devices must deliver at least ~1.7x (paper: linear)
+    tp = dict(results)
+    assert tp[2] / tp[1] > 1.7
+    assert tp[4] / tp[2] > 1.7
+    # and the intercept is small relative to the single-device throughput
+    assert abs(intercept) < 0.35 * tp[1] + 1.0

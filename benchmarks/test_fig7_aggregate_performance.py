@@ -1,0 +1,46 @@
+"""Fig. 7 — aggregated system performance for compression using bzip2.
+
+The paper distributes the input between the host and N CompStors and
+measures each side separately: the host contribution is flat, the CompStor
+contribution grows linearly, and the whole system's throughput is their sum
+("in-situ processing adds comparable processing power to the whole system").
+"""
+
+from repro.analysis.experiments import format_series_table, linear_fit
+from repro.analysis.figures import run_fig7
+
+DEVICE_COUNTS = (1, 2, 4)
+
+
+def test_fig7_aggregate_performance(benchmark):
+    rows = benchmark.pedantic(
+        run_fig7, kwargs={"device_counts": DEVICE_COUNTS}, rounds=1, iterations=1
+    )
+
+    print("\n" + format_series_table(
+        "Fig. 7 — bzip2 throughput, host + N CompStors (MB/s)",
+        ["devices", "host", "CompStors", "aggregate"],
+        [[r["devices"], r["host_mb_s"], r["compstor_mb_s"], r["aggregate_mb_s"]]
+         for r in rows],
+    ))
+
+    host = rows[0]["host_mb_s"]
+    # host contribution is measured once and is constant across N
+    assert all(r["host_mb_s"] == host for r in rows)
+    # a single quad-A53 device is well below the 8-core Xeon (paper:
+    # "obviously, the performance of one CompStor ... is lower")
+    assert rows[0]["compstor_mb_s"] < 0.5 * host
+    # the device contribution scales linearly
+    _, _, r2 = linear_fit(
+        [r["devices"] for r in rows], [r["compstor_mb_s"] for r in rows]
+    )
+    assert r2 > 0.98
+    # aggregate = host + devices, strictly increasing with N
+    for r in rows:
+        assert r["aggregate_mb_s"] == r["host_mb_s"] + r["compstor_mb_s"]
+    aggregates = [r["aggregate_mb_s"] for r in rows]
+    assert aggregates == sorted(aggregates)
+    # extrapolated crossover: devices match the host at a plausible count
+    per_device = rows[0]["compstor_mb_s"]
+    crossover = host / per_device
+    assert 4 < crossover < 40, f"crossover at {crossover:.1f} devices is implausible"

@@ -1,0 +1,40 @@
+"""Fig. 8 — energy consumption per gigabyte of data (J/GB).
+
+The paper's headline result: CompStor consumes less energy per GB than the
+Xeon server for all six applications, with "up to 3X energy saving".
+
+Attribution model (see repro.analysis.calibration): Xeon runs are charged
+whole-server wall power; CompStor runs are charged device-only power, which
+is what makes the paper's numbers independent of the device count.
+"""
+
+from repro.analysis.experiments import format_series_table
+from repro.analysis.figures import run_fig8
+
+
+def test_fig8_energy_per_gb(benchmark):
+    rows = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+
+    print("\n" + format_series_table(
+        "Fig. 8 — energy per GB (J/GB), measured vs paper",
+        ["app", "CompStor", "paper", "Xeon", "paper", "ratio", "paper ratio"],
+        [[r.app, r.compstor_j_per_gb, r.paper_compstor, r.xeon_j_per_gb,
+          r.paper_xeon, r.ratio, r.paper_ratio] for r in rows],
+    ))
+
+    assert len(rows) == 6
+    for r in rows:
+        # direction: CompStor wins on energy for every app
+        assert r.compstor_j_per_gb < r.xeon_j_per_gb, f"{r.app}: CompStor lost"
+        # absolute values within 40% of the paper's bars
+        assert abs(r.compstor_j_per_gb - r.paper_compstor) / r.paper_compstor < 0.40, r.app
+        assert abs(r.xeon_j_per_gb - r.paper_xeon) / r.paper_xeon < 0.40, r.app
+        # per-app savings ratio within 40% of the paper's
+        assert abs(r.ratio - r.paper_ratio) / r.paper_ratio < 0.40, r.app
+
+    # "up to 3X energy saving for some applications"
+    best = max(r.ratio for r in rows)
+    assert best >= 2.8
+    # and the biggest winners are the IO-bound searches + gunzip, as published
+    ranked = sorted(rows, key=lambda r: r.ratio, reverse=True)
+    assert {ranked[0].app, ranked[1].app, ranked[2].app} == {"grep", "gawk", "gunzip"}

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 517 editable
+builds fail; ``pip install -e . --no-use-pep517 --no-build-isolation`` (or a
+plain ``pip install -e .`` once ``wheel`` is present) uses this legacy path.
+"""
+
+from setuptools import setup
+
+setup()

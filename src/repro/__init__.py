@@ -1,0 +1,30 @@
+"""repro — a simulation-based reproduction of CompStor (IPDPS-W 2018).
+
+CompStor is an in-storage computation platform: an NVMe SSD with a dedicated
+in-situ processing subsystem (ISPS: quad ARM A53 + embedded Linux) and a host
+software stack that ships *minions* (computation requests) and *queries*
+(admin/telemetry requests) into the drive.
+
+Subpackage map (bottom-up):
+
+- ``repro.sim``   — discrete-event simulation kernel
+- ``repro.flash`` — NAND media (geometry, timing, energy, wear, BER)
+- ``repro.ecc``   — BCH-style error correction engine
+- ``repro.ftl``   — flash translation layer (mapping, GC, wear leveling, TRIM)
+- ``repro.nvme``  — NVMe front-end (queues, command set, vendor ISC opcodes)
+- ``repro.pcie``  — PCIe links, switch, root complex topology
+- ``repro.cpu``   — CPU core/cluster models (ARM A53, Xeon E5-2620 v4)
+- ``repro.isos``  — embedded OS (scheduler, processes, filesystem, shell)
+- ``repro.isps``  — in-situ processing subsystem + agent daemon + telemetry
+- ``repro.proto`` — Command / Response / Minion / Query entities + transport
+- ``repro.host``  — host server, client, in-situ library
+- ``repro.ssd``   — device assemblies (CompStor, conventional SSD)
+- ``repro.apps``  — offloadable applications (gzip/bzip2/grep/gawk/...)
+- ``repro.workloads`` — synthetic book corpus and dataset staging
+- ``repro.power`` — component power models and the energy meter
+- ``repro.baselines`` — host-only / shared-core / FPGA comparators, Table I
+- ``repro.cluster``   — multi-device nodes, dispatch, load balancing
+- ``repro.analysis``  — calibration constants, experiment harness, reports
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,25 @@
+"""Calibration constants, experiment harness and report formatting."""
+
+from repro.analysis.calibration import (
+    ARM_ISA,
+    CYCLES_PER_BYTE,
+    PAPER_FIG8_J_PER_GB,
+    XEON_ISA,
+    cycles_for,
+)
+from repro.analysis.experiments import (
+    linear_fit,
+    format_series_table,
+    throughput_mb_s,
+)
+
+__all__ = [
+    "ARM_ISA",
+    "CYCLES_PER_BYTE",
+    "PAPER_FIG8_J_PER_GB",
+    "XEON_ISA",
+    "cycles_for",
+    "format_series_table",
+    "linear_fit",
+    "throughput_mb_s",
+]

@@ -1,0 +1,51 @@
+"""Small analysis helpers shared by benches and examples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["linear_fit", "format_series_table", "throughput_mb_s"]
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float, float]:
+    """Least-squares ``y = a*x + b``; returns ``(a, b, r_squared)``.
+
+    Used to verify the paper's Fig. 6 linear-scaling claim.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two matched points")
+    a, b = np.polyfit(x, y, 1)
+    predicted = a * x + b
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return float(a), float(b), r2
+
+
+def throughput_mb_s(nbytes: float, seconds: float) -> float:
+    """Throughput in MB/s (decimal megabytes, as the paper uses)."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return nbytes / seconds / 1e6
+
+
+def format_series_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render an aligned text table (benches print these for EXPERIMENTS.md)."""
+    str_rows = [[f"{v:.4g}" if isinstance(v, float) else str(v) for v in row] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in str_rows)) if str_rows else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Off-loadable applications.
+
+The paper's evaluation suite — gzip/gunzip/bzip2/bunzip2 (compute-intensive)
+and grep/gawk (IO-intensive) — plus a few extra shell utilities that
+demonstrate the "any Linux command runs in-place" claim.
+
+Every app is *functional* (really transforms bytes, via zlib/bz2/pattern
+matching) and *timed* (charges calibrated cycles-per-byte on the executing
+ISA).  The same object runs unmodified on the host and inside CompStor —
+only the :class:`~repro.isos.loader.ExecContext` differs.
+"""
+
+from repro.apps.compress import Bunzip2App, Bzip2App, GunzipApp, GzipApp
+from repro.apps.moretext import HeadApp, TailApp, UniqApp
+from repro.apps.registry import default_registry
+from repro.apps.search import FilterApp, GawkApp, GrepApp
+from repro.apps.textutils import CatApp, EchoApp, LsApp, Sha1SumApp, WcApp
+
+__all__ = [
+    "Bunzip2App",
+    "Bzip2App",
+    "CatApp",
+    "EchoApp",
+    "FilterApp",
+    "GawkApp",
+    "GrepApp",
+    "GunzipApp",
+    "GzipApp",
+    "HeadApp",
+    "LsApp",
+    "Sha1SumApp",
+    "TailApp",
+    "UniqApp",
+    "WcApp",
+    "default_registry",
+]

@@ -1,0 +1,123 @@
+"""Database-style selection/aggregation pushdown.
+
+The paper's related work (Do et al., SIGMOD'13) offloads "a selection and
+aggregation query" to a smart SSD — with significant porting effort.  On
+CompStor the same query is just another executable.  ``selectq`` runs a
+``SELECT``-with-``WHERE``-and-aggregate over a CSV file::
+
+    selectq WHERE_COL OP VALUE AGG_COL FILE
+
+e.g. ``selectq 2 gt 100 3 sales.csv`` streams ``sales.csv``, keeps rows
+whose column 2 (0-based) is greater than 100, and returns the row count,
+plus sum/min/max of column 3 — a few dozen bytes of result for gigabytes of
+table, the canonical pushdown win.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.analysis.calibration import ARM_ISA, CYCLES_PER_BYTE, XEON_ISA
+from repro.apps.base import StreamingApp, UsageError
+from repro.isos.loader import ExecContext, ExitStatus
+
+__all__ = ["SelectQueryApp"]
+
+# CSV parsing + predicate evaluation is heavier than grep, lighter than gzip
+CYCLES_PER_BYTE.setdefault("selectq", {XEON_ISA: 45.0, ARM_ISA: 120.0})
+
+_OPS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+
+class SelectQueryApp(StreamingApp):
+    """``selectq WHERE_COL OP VALUE AGG_COL FILE``."""
+
+    name = "selectq"
+
+    def input_file(self, ctx: ExecContext) -> str:
+        if len(ctx.args) != 5:
+            raise UsageError("selectq: usage: selectq WHERE_COL OP VALUE AGG_COL FILE")
+        return ctx.args[4]
+
+    def begin(self, ctx: ExecContext) -> None:
+        try:
+            self.where_col = int(ctx.args[0])
+            self.op = _OPS[ctx.args[1]]
+            self.value = float(ctx.args[2])
+            self.agg_col = int(ctx.args[3])
+        except (ValueError, KeyError, IndexError) as exc:
+            raise UsageError(f"selectq: bad arguments: {exc}") from exc
+        if self.where_col < 0 or self.agg_col < 0:
+            raise UsageError("selectq: column indexes must be non-negative")
+        self._carry = b""
+        self._analytic = False
+        self.rows_seen = 0
+        self.rows_selected = 0
+        self.malformed = 0
+        self.agg_sum = 0.0
+        self.agg_min = float("inf")
+        self.agg_max = float("-inf")
+
+    def run(self, ctx: ExecContext) -> Generator:
+        try:
+            status = yield from super().run(ctx)
+        except UsageError as exc:
+            return ExitStatus(code=2, stdout=str(exc).encode())
+        return status
+
+    def consume(self, ctx: ExecContext, chunk: bytes | None, take: int) -> None:
+        if chunk is None:
+            self._analytic = True
+            return
+        lines = (self._carry + chunk).split(b"\n")
+        self._carry = lines.pop()
+        for line in lines:
+            self._row(line)
+
+    def _row(self, line: bytes) -> None:
+        if not line.strip():
+            return
+        self.rows_seen += 1
+        fields = line.split(b",")
+        try:
+            probe = float(fields[self.where_col])
+            agg = float(fields[self.agg_col])
+        except (IndexError, ValueError):
+            self.malformed += 1
+            return
+        if self.op(probe, self.value):
+            self.rows_selected += 1
+            self.agg_sum += agg
+            self.agg_min = min(self.agg_min, agg)
+            self.agg_max = max(self.agg_max, agg)
+
+    def finish(self, ctx: ExecContext, path: str, total_bytes: int) -> Generator:
+        if self._carry:
+            self._row(self._carry)
+        if self._analytic:
+            return ExitStatus(code=0, stdout=b"",
+                              detail={"bytes_scanned": total_bytes, "analytic": True})
+        if self.rows_selected:
+            out = (f"count={self.rows_selected} sum={self.agg_sum:.6g} "
+                   f"min={self.agg_min:.6g} max={self.agg_max:.6g}")
+        else:
+            out = "count=0"
+        return ExitStatus(
+            code=0,
+            stdout=out.encode(),
+            detail={
+                "rows_seen": self.rows_seen,
+                "rows_selected": self.rows_selected,
+                "malformed": self.malformed,
+                "sum": self.agg_sum if self.rows_selected else 0.0,
+                "bytes_scanned": total_bytes,
+            },
+        )
+        yield  # pragma: no cover - generator protocol

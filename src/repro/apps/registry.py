@@ -1,0 +1,40 @@
+"""The default installed-application set.
+
+Both the host OS image and every CompStor's embedded Linux boot with these
+preinstalled; anything else arrives via dynamic task loading (ISC_LOAD).
+"""
+
+from __future__ import annotations
+
+from repro.apps.compress import Bunzip2App, Bzip2App, GunzipApp, GzipApp
+from repro.apps.moretext import HeadApp, SortApp, TailApp, UniqApp
+from repro.apps.query import SelectQueryApp
+from repro.apps.search import FilterApp, GawkApp, GrepApp
+from repro.apps.textutils import CatApp, EchoApp, LsApp, Sha1SumApp, WcApp
+from repro.isos.loader import ExecutableRegistry
+
+__all__ = ["default_registry"]
+
+
+def default_registry() -> ExecutableRegistry:
+    """A fresh registry with the standard application set installed."""
+    apps = [
+        GzipApp(),
+        GunzipApp(),
+        Bzip2App(),
+        Bunzip2App(),
+        GrepApp(),
+        GawkApp(),
+        FilterApp(),
+        CatApp(),
+        EchoApp(),
+        LsApp(),
+        WcApp(),
+        Sha1SumApp(),
+        HeadApp(),
+        TailApp(),
+        UniqApp(),
+        SortApp(),
+        SelectQueryApp(),
+    ]
+    return ExecutableRegistry({app.name: app for app in apps})

@@ -1,0 +1,173 @@
+"""Search applications: grep and a gawk-style field scanner.
+
+These are the paper's IO-intensive workloads: little computation per byte,
+dominated by how fast bytes can reach the core — which is exactly where the
+in-situ flash path beats the host's PCIe path.
+
+``grep`` supports ``-c`` (count only, the default output) and ``-i``
+(case-insensitive).  Matching is line-based on raw bytes; a pattern that
+straddles a page boundary is handled by carrying the unterminated tail line
+into the next chunk.
+
+``gawk`` models the common one-liner ``gawk '/pat/ {n++; s+=NF} END {...}'``:
+it counts matching lines and accumulates field statistics, costing more
+cycles per byte than grep (field splitting).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.base import StreamingApp, UsageError
+from repro.isos.loader import ExecContext, ExitStatus
+
+__all__ = ["FilterApp", "GawkApp", "GrepApp"]
+
+
+class _LineScanner(StreamingApp):
+    """Streaming line-splitter with page-boundary carry."""
+
+    def input_file(self, ctx: ExecContext) -> str:
+        positional = [a for a in ctx.args if not a.startswith("-")]
+        if len(positional) < 2:
+            raise UsageError(f"{self.name}: usage: {self.name} [flags] PATTERN FILE")
+        return positional[-1]
+
+    def begin(self, ctx: ExecContext) -> None:
+        positional = [a for a in ctx.args if not a.startswith("-")]
+        self.flags = {a for a in ctx.args if a.startswith("-")}
+        self.pattern = positional[0].encode()
+        if "-i" in self.flags:
+            self.pattern = self.pattern.lower()
+        self._carry = b""
+        self._analytic = False
+        self.lines_seen = 0
+        self.setup()
+
+    def setup(self) -> None:
+        pass
+
+    def consume(self, ctx: ExecContext, chunk: bytes | None, take: int) -> None:
+        if chunk is None:
+            self._analytic = True
+            return
+        data = self._carry + chunk
+        lines = data.split(b"\n")
+        self._carry = lines.pop()  # unterminated tail
+        for line in lines:
+            self.lines_seen += 1
+            self.on_line(line)
+
+    def drain(self) -> None:
+        if self._carry:
+            self.lines_seen += 1
+            self.on_line(self._carry)
+            self._carry = b""
+
+    def on_line(self, line: bytes) -> None:
+        raise NotImplementedError
+
+
+class GrepApp(_LineScanner):
+    """``grep [-c] [-i] PATTERN FILE``."""
+
+    name = "grep"
+
+    def setup(self) -> None:
+        self.matches = 0
+
+    def on_line(self, line: bytes) -> None:
+        haystack = line.lower() if "-i" in self.flags else line
+        if self.pattern in haystack:
+            self.matches += 1
+
+    def finish(self, ctx: ExecContext, path: str, total_bytes: int) -> Generator:
+        self.drain()
+        if self._analytic:
+            return ExitStatus(
+                code=0,
+                stdout=b"",
+                detail={"bytes_scanned": total_bytes, "analytic": True},
+            )
+        # real grep exits 1 when nothing matched
+        code = 0 if self.matches else 1
+        return ExitStatus(
+            code=code,
+            stdout=str(self.matches).encode(),
+            detail={"matches": self.matches, "lines": self.lines_seen,
+                    "bytes_scanned": total_bytes},
+        )
+        yield  # pragma: no cover - generator protocol
+
+
+class FilterApp(_LineScanner):
+    """``filter PATTERN FILE`` — emit the matching lines themselves.
+
+    Unlike ``grep -c`` (whose result is a few bytes regardless of input),
+    filter's output scales with the match *selectivity* — and the output is
+    exactly what travels back over the storage interface when run in-situ.
+    The selectivity ablation bench uses this to locate the point where
+    shipping results costs as much as shipping the data.
+    """
+
+    name = "filter"
+
+    def setup(self) -> None:
+        self.matched: list[bytes] = []
+
+    def on_line(self, line: bytes) -> None:
+        haystack = line.lower() if "-i" in self.flags else line
+        if self.pattern in haystack:
+            self.matched.append(line)
+
+    def finish(self, ctx: ExecContext, path: str, total_bytes: int) -> Generator:
+        self.drain()
+        if self._analytic:
+            return ExitStatus(code=0, stdout=b"",
+                              detail={"bytes_scanned": total_bytes, "analytic": True})
+        stdout = b"\n".join(self.matched)
+        return ExitStatus(
+            code=0 if self.matched else 1,
+            stdout=stdout,
+            detail={
+                "matches": len(self.matched),
+                "bytes_scanned": total_bytes,
+                "bytes_emitted": len(stdout),
+                "selectivity": len(stdout) / total_bytes if total_bytes else 0.0,
+            },
+        )
+        yield  # pragma: no cover - generator protocol
+
+
+class GawkApp(_LineScanner):
+    """``gawk PATTERN FILE`` — match + field statistics per line."""
+
+    name = "gawk"
+
+    def setup(self) -> None:
+        self.matches = 0
+        self.fields_total = 0
+
+    def on_line(self, line: bytes) -> None:
+        fields = line.split()
+        self.fields_total += len(fields)
+        if self.pattern in line:
+            self.matches += 1
+
+    def finish(self, ctx: ExecContext, path: str, total_bytes: int) -> Generator:
+        self.drain()
+        if self._analytic:
+            return ExitStatus(code=0, stdout=b"", detail={"bytes_scanned": total_bytes,
+                                                          "analytic": True})
+        out = f"{self.matches} {self.fields_total}"
+        return ExitStatus(
+            code=0,
+            stdout=out.encode(),
+            detail={
+                "matches": self.matches,
+                "fields": self.fields_total,
+                "lines": self.lines_seen,
+                "bytes_scanned": total_bytes,
+            },
+        )
+        yield  # pragma: no cover - generator protocol

@@ -1,0 +1,120 @@
+"""Ordinary shell utilities.
+
+These exist to back the paper's claim that a Linux-powered drive runs *any*
+shell command in place: echo, cat, ls, wc, sha1sum.  They share the same
+streaming/cost machinery as the headline workloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Generator
+
+from repro.apps.base import StreamingApp, charge
+from repro.isos.loader import ExecContext, ExitStatus
+
+__all__ = ["CatApp", "EchoApp", "LsApp", "Sha1SumApp", "WcApp"]
+
+
+class EchoApp:
+    """``echo ARGS...`` — also consumes stdin if piped (pass-through)."""
+
+    name = "echo"
+
+    def run(self, ctx: ExecContext) -> Generator:
+        out = " ".join(ctx.args).encode()
+        yield from charge(ctx, self.name, len(out))
+        return ExitStatus(code=0, stdout=out)
+
+
+class LsApp:
+    """``ls`` — list the filesystem namespace with sizes."""
+
+    name = "ls"
+
+    def run(self, ctx: ExecContext) -> Generator:
+        rows = [f"{ctx.fs.stat(name).size:>12} {name}" for name in ctx.fs.listdir()]
+        out = "\n".join(rows).encode()
+        yield from charge(ctx, self.name, len(out))
+        return ExitStatus(code=0, stdout=out, detail={"entries": len(rows)})
+
+
+class CatApp(StreamingApp):
+    """``cat FILE`` — stream a file to stdout."""
+
+    name = "cat"
+
+    def begin(self, ctx: ExecContext) -> None:
+        self._chunks: list[bytes] = []
+        self._analytic = False
+
+    def consume(self, ctx: ExecContext, chunk: bytes | None, take: int) -> None:
+        if chunk is None:
+            self._analytic = True
+        else:
+            self._chunks.append(chunk)
+
+    def finish(self, ctx: ExecContext, path: str, total_bytes: int) -> Generator:
+        stdout = b"" if self._analytic else b"".join(self._chunks)
+        return ExitStatus(code=0, stdout=stdout, detail={"bytes": total_bytes})
+        yield  # pragma: no cover - generator protocol
+
+
+class WcApp(StreamingApp):
+    """``wc FILE`` — line/word/byte counts."""
+
+    name = "wc"
+
+    def begin(self, ctx: ExecContext) -> None:
+        self.lines = 0
+        self.words = 0
+        self._in_word = False
+        self._analytic = False
+
+    def consume(self, ctx: ExecContext, chunk: bytes | None, take: int) -> None:
+        if chunk is None:
+            self._analytic = True
+            return
+        self.lines += chunk.count(b"\n")
+        # word counting across chunk boundaries
+        for byte in chunk:
+            space = byte in (0x20, 0x09, 0x0A, 0x0D)
+            if not space and not self._in_word:
+                self.words += 1
+                self._in_word = True
+            elif space:
+                self._in_word = False
+
+    def finish(self, ctx: ExecContext, path: str, total_bytes: int) -> Generator:
+        if self._analytic:
+            return ExitStatus(code=0, stdout=b"", detail={"bytes": total_bytes})
+        out = f"{self.lines} {self.words} {total_bytes} {path}"
+        return ExitStatus(
+            code=0,
+            stdout=out.encode(),
+            detail={"lines": self.lines, "words": self.words, "bytes": total_bytes},
+        )
+        yield  # pragma: no cover - generator protocol
+
+
+class Sha1SumApp(StreamingApp):
+    """``sha1sum FILE`` — integrity digests (a common datacenter scan)."""
+
+    name = "sha1sum"
+
+    def begin(self, ctx: ExecContext) -> None:
+        self._digest = hashlib.sha1()
+        self._analytic = False
+
+    def consume(self, ctx: ExecContext, chunk: bytes | None, take: int) -> None:
+        if chunk is None:
+            self._analytic = True
+        else:
+            self._digest.update(chunk)
+
+    def finish(self, ctx: ExecContext, path: str, total_bytes: int) -> Generator:
+        if self._analytic:
+            return ExitStatus(code=0, stdout=b"", detail={"bytes": total_bytes})
+        out = f"{self._digest.hexdigest()}  {path}"
+        return ExitStatus(code=0, stdout=out.encode(), detail={"bytes": total_bytes})
+        yield  # pragma: no cover - generator protocol

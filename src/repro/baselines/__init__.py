@@ -1,0 +1,28 @@
+"""Comparison systems.
+
+Three runnable baselines plus the Table I capability registry:
+
+- :mod:`repro.baselines.hostonly` — move data to the Xeon (conventional);
+- :mod:`repro.baselines.biscuit` — Biscuit-style ISC on embedded cores
+  *shared* with the SSD firmware (interference by construction);
+- :mod:`repro.baselines.fpga` — BlueDBM-style fixed-function FPGA
+  acceleration (fast, efficient, inflexible);
+- :mod:`repro.baselines.registry` — the related-work feature matrix
+  (paper Table I), regenerated programmatically.
+"""
+
+from repro.baselines.biscuit import ARM_R7_DUAL, BiscuitSSD
+from repro.baselines.fpga import FpgaAcceleratedSSD, FpgaKernel
+from repro.baselines.hostonly import HostOnlyRunner
+from repro.baselines.registry import SYSTEMS, SystemCapabilities, table1_rows
+
+__all__ = [
+    "ARM_R7_DUAL",
+    "BiscuitSSD",
+    "FpgaAcceleratedSSD",
+    "FpgaKernel",
+    "HostOnlyRunner",
+    "SYSTEMS",
+    "SystemCapabilities",
+    "table1_rows",
+]

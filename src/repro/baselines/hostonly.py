@@ -1,0 +1,48 @@
+"""The conventional path: move the data to the host CPU.
+
+Thin helper over a :class:`~repro.cluster.node.StorageNode` built with a
+baseline drive: runs commands on the host OS (Xeon ISA, data over
+NVMe/PCIe) and measures the same quantities the in-situ path reports, so
+Fig. 7/8 comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from repro.cluster.node import StorageNode
+from repro.isos.loader import ExitStatus
+
+__all__ = ["HostOnlyRunner"]
+
+
+class HostOnlyRunner:
+    """Runs the workload suite on the host over NVMe-attached storage."""
+
+    def __init__(self, node: StorageNode):
+        if node.baseline_ssd is None:
+            raise ValueError("node was built without a baseline SSD (with_baseline_ssd=True)")
+        self.node = node
+        self.os = node.host.require_os()
+
+    def run(self, command_line: str) -> Generator:
+        """Execute one command on the host; returns ``(ExitStatus, seconds)``."""
+        start = self.node.sim.now
+        status, _process = yield from self.os.run(command_line)
+        return status, self.node.sim.now - start
+
+    def run_many(self, command_lines: Sequence[str]) -> Generator:
+        """Execute commands concurrently (host cores shared via the OS
+        scheduler); returns (statuses, wall_seconds)."""
+        sim = self.node.sim
+        start = sim.now
+        procs = [self.os.spawn(line) for line in command_lines]
+
+        def wait_all() -> Generator:
+            statuses: list[ExitStatus] = []
+            for p in procs:
+                statuses.append((yield from self.os.wait(p)))
+            return statuses
+
+        statuses = yield from wait_all()
+        return statuses, sim.now - start

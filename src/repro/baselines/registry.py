@@ -1,0 +1,119 @@
+"""Paper Table I: comparison of in-storage computation systems.
+
+The capability matrix is data, not prose, so the bench that regenerates
+Table I can assert its one substantive claim: CompStor is the only system
+with a prototype *and* dynamic task loading *and* a programming library
+*and* OS-level flexibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SYSTEMS", "SystemCapabilities", "table1_rows"]
+
+
+@dataclass(frozen=True, slots=True)
+class SystemCapabilities:
+    """One row of Table I."""
+
+    system: str
+    reference: str
+    prototype: str
+    dynamic_task_loading: bool
+    programming_library: bool
+    os_level_flexibility: bool
+
+    @property
+    def all_features(self) -> bool:
+        return (
+            self.dynamic_task_loading
+            and self.programming_library
+            and self.os_level_flexibility
+        )
+
+
+SYSTEMS: tuple[SystemCapabilities, ...] = (
+    SystemCapabilities(
+        system="BlueDBM (Jun)",
+        reference="[13]",
+        prototype="FPGA based SSD / FPGA accelerator",
+        dynamic_task_loading=False,
+        programming_library=True,
+        os_level_flexibility=False,
+    ),
+    SystemCapabilities(
+        system="Active SSD (Abbani)",
+        reference="[23]",
+        prototype="FPGA based SSD / soft microprocessor",
+        dynamic_task_loading=False,
+        programming_library=False,
+        os_level_flexibility=False,
+    ),
+    SystemCapabilities(
+        system="Smart SSD (Kang)",
+        reference="[17]",
+        prototype="OTS SATA SSD / 2 ARM (unknown)",
+        dynamic_task_loading=False,
+        programming_library=True,
+        os_level_flexibility=False,
+    ),
+    SystemCapabilities(
+        system="In-storage scan/join (Kim)",
+        reference="[15]",
+        prototype="Simulation model / ARM A9 (sim)",
+        dynamic_task_loading=False,
+        programming_library=False,
+        os_level_flexibility=False,
+    ),
+    SystemCapabilities(
+        system="Active Flash (Tiwari)",
+        reference="[16]",
+        prototype="Model / ARM A9 (model)",
+        dynamic_task_loading=False,
+        programming_library=False,
+        os_level_flexibility=False,
+    ),
+    SystemCapabilities(
+        system="Biscuit (Gu)",
+        reference="[19]",
+        prototype="OTS NVMe SSD / ARM R7",
+        dynamic_task_loading=True,
+        programming_library=True,
+        os_level_flexibility=False,
+    ),
+    SystemCapabilities(
+        system="HRL-style NDP (Gao)",
+        reference="[20]",
+        prototype="Simulation model / ARM A7 (model)",
+        dynamic_task_loading=False,
+        programming_library=False,
+        os_level_flexibility=False,
+    ),
+    SystemCapabilities(
+        system="CompStor",
+        reference="(this work)",
+        prototype="24TB NVMe SSD / quad-core ARM A53",
+        dynamic_task_loading=True,
+        programming_library=True,
+        os_level_flexibility=True,
+    ),
+)
+
+
+def table1_rows() -> list[list[str]]:
+    """Table I as printable rows."""
+
+    def mark(flag: bool) -> str:
+        return "yes" if flag else "no"
+
+    return [
+        [
+            s.system,
+            s.prototype,
+            mark(s.dynamic_task_loading),
+            mark(s.programming_library),
+            mark(s.os_level_flexibility),
+        ]
+        for s in SYSTEMS
+    ]

@@ -1,0 +1,238 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+::
+
+    python -m repro fig1                 # bandwidth mismatch table
+    python -m repro fig6 --app grep --devices 1 2 4
+    python -m repro fig7
+    python -m repro fig8 --apps grep gawk
+    python -m repro table1
+    python -m repro quickstart           # the quickstart scenario
+
+Every command prints the same table its benchmark counterpart asserts on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.experiments import format_series_table
+from repro.analysis.figures import (
+    FIG8_APPS,
+    fig6_linearity,
+    run_fig1,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+)
+from repro.baselines import table1_rows
+
+__all__ = ["main"]
+
+
+def _cmd_fig1(args: argparse.Namespace) -> None:
+    rows = run_fig1(tuple(args.devices))
+    print(format_series_table(
+        "Fig. 1 — media vs host bandwidth (GB/s)",
+        ["SSDs", "aggregate media", "per-SSD link", "host ingest", "mismatch x"],
+        [[r.ssd_count, r.media_bandwidth_bps / 1e9, r.endpoint_link_bps / 1e9,
+          r.host_ingest_bps / 1e9, r.mismatch] for r in rows],
+    ))
+
+
+def _cmd_fig6(args: argparse.Namespace) -> None:
+    results = run_fig6(app=args.app, device_counts=tuple(args.devices))
+    slope, _, r2 = fig6_linearity(results)
+    print(format_series_table(
+        f"Fig. 6 — {args.app} throughput vs device count",
+        ["devices", "MB/s"],
+        [[n, tp] for n, tp in results],
+    ))
+    print(f"fit: slope={slope:.2f} MB/s/device, r^2={r2:.4f}")
+
+
+def _cmd_fig7(args: argparse.Namespace) -> None:
+    rows = run_fig7(device_counts=tuple(args.devices))
+    print(format_series_table(
+        "Fig. 7 — bzip2 throughput, host + N CompStors (MB/s)",
+        ["devices", "host", "CompStors", "aggregate"],
+        [[r["devices"], r["host_mb_s"], r["compstor_mb_s"], r["aggregate_mb_s"]]
+         for r in rows],
+    ))
+
+
+def _cmd_fig8(args: argparse.Namespace) -> None:
+    rows = run_fig8(apps=tuple(args.apps))
+    print(format_series_table(
+        "Fig. 8 — energy per GB (J/GB), measured vs paper",
+        ["app", "CompStor", "paper", "Xeon", "paper", "ratio", "paper ratio"],
+        [[r.app, r.compstor_j_per_gb, r.paper_compstor, r.xeon_j_per_gb,
+          r.paper_xeon, r.ratio, r.paper_ratio] for r in rows],
+    ))
+
+
+def _cmd_table1(_args: argparse.Namespace) -> None:
+    print(format_series_table(
+        "Table I — in-storage computation systems",
+        ["system", "prototype", "dyn. loading", "library", "OS flexibility"],
+        table1_rows(),
+    ))
+
+
+def _cmd_smart(args: argparse.Namespace) -> None:
+    """Run a small workload, then dump the drive's SMART health log."""
+    from repro.cluster import StorageNode
+    from repro.workloads import BookCorpus, CorpusSpec
+
+    node = StorageNode.build(devices=1, device_capacity=32 * 1024 * 1024)
+    sim = node.sim
+    books = BookCorpus(CorpusSpec(files=args.files, mean_file_bytes=64 * 1024)).generate()
+    sim.run(sim.process(node.stage_corpus(books, compressed=False)))
+
+    def workload():
+        for book in books:
+            yield from node.client.run("compstor0", f"gzip {book.name}")
+
+    sim.run(sim.process(workload()))
+    smart = node.compstors[0].controller.smart_log()
+    rows = []
+    for key, value in smart.items():
+        if key == "latency":
+            for opcode, stats in value.items():
+                rows.append([f"latency.{opcode}",
+                             f"n={stats['count']} mean={stats['mean'] * 1e6:.1f}us"])
+        else:
+            rows.append([key, value])
+    print(format_series_table("SMART / health log after workload", ["attribute", "value"], rows))
+
+
+def _cmd_fleet(args: argparse.Namespace) -> None:
+    """Fleet weak-scaling sweep (nodes x devices, one minion per book)."""
+    from repro.analysis.experiments import throughput_mb_s
+    from repro.cluster import StorageFleet
+    from repro.proto import Command
+    from repro.workloads import BookCorpus, CorpusSpec
+
+    rows = []
+    for nodes in args.nodes:
+        books = BookCorpus(
+            CorpusSpec(files=args.books_per_node * nodes, mean_file_bytes=32 * 1024)
+        ).generate()
+        fleet = StorageFleet.build(
+            nodes=nodes, devices_per_node=args.devices,
+            device_capacity=24 * 1024 * 1024,
+        )
+        fleet.sim.run(fleet.sim.process(fleet.stage_corpus(books)))
+
+        def job():
+            return (
+                yield from fleet.run_job(
+                    books, lambda b: Command(command_line=f"grep xylophone {b.name}")
+                )
+            )
+
+        responses, wall = fleet.sim.run(fleet.sim.process(job()))
+        total = sum(b.plain_size for b in books)
+        rows.append([nodes, len(responses), throughput_mb_s(total, wall)])
+    print(format_series_table(
+        "fleet weak scaling (grep)",
+        ["nodes", "concurrent minions", "aggregate MB/s"],
+        rows,
+    ))
+
+
+def _cmd_validate(args: argparse.Namespace) -> None:
+    """Run the whole evaluation and print the reproduction scorecard."""
+    from repro.analysis.validation import validate_against_paper
+
+    claims = validate_against_paper(quick=args.quick)
+    rows = [
+        [("PASS" if c.passed else "FAIL"), c.source, c.claim, c.measured]
+        for c in claims
+    ]
+    print(format_series_table(
+        "reproduction scorecard", ["", "source", "paper claim", "measured"], rows
+    ))
+    failed = [c for c in claims if not c.passed]
+    print(f"\n{len(claims) - len(failed)}/{len(claims)} claims reproduced")
+    if failed:
+        raise SystemExit(1)
+
+
+def _cmd_quickstart(_args: argparse.Namespace) -> None:
+    # late import: the examples directory is not a package
+    from repro.cluster import StorageNode
+
+    node = StorageNode.build(devices=1, device_capacity=16 * 1024 * 1024)
+    sim = node.sim
+    ssd = node.compstors[0]
+    sim.run(sim.process(ssd.fs.write_file("hello.txt", b"fox\n" * 100)))
+
+    def session():
+        response = yield from node.client.run("compstor0", "grep fox hello.txt")
+        print(f"in-situ grep matched {response.stdout.decode()} lines "
+              f"in {response.execution_seconds * 1e3:.2f} ms on {response.device}")
+
+    sim.run(sim.process(session()))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CompStor reproduction: regenerate the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="bandwidth mismatch (Fig. 1)")
+    p.add_argument("--devices", type=int, nargs="+", default=[1, 4, 8, 16, 32, 64])
+    p.set_defaults(func=_cmd_fig1)
+
+    p = sub.add_parser("fig6", help="linear scaling (Fig. 6)")
+    p.add_argument("--app", default="grep",
+                   choices=["grep", "gawk", "gzip", "gunzip", "bzip2", "bunzip2"])
+    p.add_argument("--devices", type=int, nargs="+", default=[1, 2, 4])
+    p.set_defaults(func=_cmd_fig6)
+
+    p = sub.add_parser("fig7", help="aggregate host+devices bzip2 (Fig. 7)")
+    p.add_argument("--devices", type=int, nargs="+", default=[1, 2, 4])
+    p.set_defaults(func=_cmd_fig7)
+
+    p = sub.add_parser("fig8", help="energy per GB (Fig. 8)")
+    p.add_argument("--apps", nargs="+", default=list(FIG8_APPS),
+                   choices=list(FIG8_APPS))
+    p.set_defaults(func=_cmd_fig8)
+
+    p = sub.add_parser("table1", help="related-work capability matrix (Table I)")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("smart", help="device SMART/health log after a workload")
+    p.add_argument("--files", type=int, default=4)
+    p.set_defaults(func=_cmd_smart)
+
+    p = sub.add_parser("fleet", help="fleet weak-scaling sweep")
+    p.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 4])
+    p.add_argument("--devices", type=int, default=2)
+    p.add_argument("--books-per-node", type=int, default=8)
+    p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser("validate", help="grade every paper claim (scorecard)")
+    p.add_argument("--quick", action="store_true", help="smaller device sweep")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("quickstart", help="minimal end-to-end in-situ grep")
+    p.set_defaults(func=_cmd_quickstart)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

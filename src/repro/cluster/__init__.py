@@ -1,0 +1,17 @@
+"""Distributed layer: storage nodes with many CompStors, dispatch policies."""
+
+from repro.cluster.fleet import StorageFleet
+from repro.cluster.node import StorageNode
+from repro.cluster.scheduler import (
+    LeastLoadedBalancer,
+    MinionDispatcher,
+    RoundRobinBalancer,
+)
+
+__all__ = [
+    "LeastLoadedBalancer",
+    "MinionDispatcher",
+    "RoundRobinBalancer",
+    "StorageFleet",
+    "StorageNode",
+]

@@ -1,0 +1,129 @@
+"""Datacenter fleet: many storage nodes, one coordinator.
+
+The paper's closing scaling argument: "Considering a data center containing
+hundreds of CompStor equipped storage nodes, there could be thousands of
+concurrent minions, resulting in heavy parallelism at the storage unit
+level."  :class:`StorageFleet` builds that two-level topology — a
+coordinator fanning jobs out to per-node in-situ clients, each fanning out
+to its local devices — inside one simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Sequence
+
+from repro.cluster.node import StorageNode
+from repro.proto.entities import Command, Response
+from repro.sim import Simulator
+from repro.workloads import BookFile, partition_round_robin
+
+__all__ = ["StorageFleet"]
+
+
+class StorageFleet:
+    """A rack/row of storage nodes under one job coordinator."""
+
+    def __init__(self, sim: Simulator, nodes: list[StorageNode]):
+        if not nodes:
+            raise ValueError("a fleet needs at least one node")
+        self.sim = sim
+        self.nodes = nodes
+
+    @classmethod
+    def build(
+        cls,
+        nodes: int = 4,
+        devices_per_node: int = 4,
+        seed: int = 0,
+        device_capacity: int = 32 * 1024 * 1024,
+        store_data: bool = True,
+    ) -> "StorageFleet":
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        sim = Simulator(seed=seed)
+        built = [
+            StorageNode.build(
+                devices=devices_per_node,
+                sim=sim,
+                device_capacity=device_capacity,
+                store_data=store_data,
+            )
+            for _ in range(nodes)
+        ]
+        return cls(sim, built)
+
+    # -- topology -----------------------------------------------------------
+    @property
+    def total_devices(self) -> int:
+        return sum(len(node.compstors) for node in self.nodes)
+
+    def describe(self) -> dict:
+        return {
+            "nodes": len(self.nodes),
+            "devices": self.total_devices,
+            "capacity_bytes": sum(
+                ssd.capacity_bytes for node in self.nodes for ssd in node.compstors
+            ),
+        }
+
+    # -- dataset ------------------------------------------------------------
+    def stage_corpus(self, books: Sequence[BookFile], compressed: bool = False) -> Generator:
+        """Scatter books round-robin over nodes (each node scatters over its
+        devices); all staging runs concurrently."""
+        parts = partition_round_robin(list(books), len(self.nodes))
+        procs = [
+            self.sim.process(node.stage_corpus(part, compressed=compressed))
+            for node, part in zip(self.nodes, parts)
+        ]
+        yield self.sim.all_of(procs)
+        return None
+
+    def placement(self, books: Sequence[BookFile]) -> dict[tuple[int, str], list[BookFile]]:
+        """(node index, device name) -> books, matching :meth:`stage_corpus`."""
+        out: dict[tuple[int, str], list[BookFile]] = {}
+        parts = partition_round_robin(list(books), len(self.nodes))
+        for node_index, (node, part) in enumerate(zip(self.nodes, parts)):
+            for device, dev_books in node.device_books(part).items():
+                out[(node_index, device)] = dev_books
+        return out
+
+    # -- jobs ----------------------------------------------------------------
+    def run_job(
+        self,
+        books: Sequence[BookFile],
+        command_for: Callable[[BookFile], Command],
+    ) -> Generator:
+        """One minion per book, everywhere at once.
+
+        Returns ``(responses, wall_seconds)``; responses come back grouped
+        per node but flattened in deterministic order.
+        """
+        start = self.sim.now
+        per_node_assignments: list[list[tuple[str, Command]]] = []
+        for (node_index, device), dev_books in sorted(self.placement(books).items()):
+            while len(per_node_assignments) <= node_index:
+                per_node_assignments.append([])
+            per_node_assignments[node_index].extend(
+                (device, command_for(book)) for book in dev_books
+            )
+        procs = [
+            self.sim.process(node.client.gather(assignments))
+            for node, assignments in zip(self.nodes, per_node_assignments)
+            if assignments
+        ]
+        results = yield self.sim.all_of(procs)
+        responses: list[Response] = [r for proc in procs for r in results[proc]]
+        return responses, self.sim.now - start
+
+    def telemetry(self) -> Generator:
+        """Status of every device in the fleet, concurrently."""
+        procs = [self.sim.process(node.client.status_all()) for node in self.nodes]
+        results = yield self.sim.all_of(procs)
+        merged = {}
+        for node_index, proc in enumerate(procs):
+            for device, snap in results[proc].items():
+                merged[(node_index, device)] = snap
+        return merged
+
+    def total_minions_served(self) -> int:
+        return sum(ssd.agent.minions_served for node in self.nodes for ssd in node.compstors)

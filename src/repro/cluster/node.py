@@ -1,0 +1,167 @@
+"""A storage node: one host, a PCIe fabric, N CompStors (paper Fig. 2).
+
+:meth:`StorageNode.build` assembles the full system used by the
+experiments: host server (Xeon), root complex + switch, N in-situ drives,
+one shared power meter, and the in-situ client library attached to every
+device.  A conventional drive for the host-side baseline can be included
+with ``with_baseline_ssd=True`` (the Table IV setup uses a separate,
+identical server; sharing the fabric here changes nothing because the
+baseline and in-situ runs never overlap in time).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Sequence
+
+from repro.flash import FlashGeometry
+from repro.ftl import FtlConfig
+from repro.host import HostServer, InSituClient
+from repro.isos.loader import ExecutableRegistry
+from repro.pcie import PcieFabric
+from repro.power import PowerMeter
+from repro.sim import Simulator, Tracer
+from repro.ssd import CompStorSSD, ConventionalSSD
+from repro.ssd.conventional import small_geometry
+from repro.workloads import BookFile, partition_round_robin
+
+__all__ = ["StorageNode"]
+
+
+class StorageNode:
+    """Host + fabric + N CompStors (+ optional baseline drive)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: HostServer,
+        fabric: PcieFabric,
+        compstors: list[CompStorSSD],
+        client: InSituClient,
+        meter: PowerMeter,
+        baseline_ssd: ConventionalSSD | None = None,
+    ):
+        self.sim = sim
+        self.host = host
+        self.fabric = fabric
+        self.compstors = compstors
+        self.client = client
+        self.meter = meter
+        self.baseline_ssd = baseline_ssd
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        devices: int = 4,
+        seed: int = 0,
+        sim: Simulator | None = None,
+        geometry: FlashGeometry | None = None,
+        device_capacity: int = 64 * 1024 * 1024,
+        store_data: bool = True,
+        with_baseline_ssd: bool = False,
+        registry: ExecutableRegistry | None = None,
+        ftl_config: FtlConfig | None = None,
+        tracer: Tracer | None = None,
+        uplink_lanes: int = 16,
+        endpoint_lanes: int = 4,
+    ) -> "StorageNode":
+        if devices < 1:
+            raise ValueError("need at least one CompStor")
+        sim = sim or Simulator(seed=seed)
+        meter = PowerMeter(sim)
+        endpoints = devices + (1 if with_baseline_ssd else 0)
+        fabric = PcieFabric(
+            sim,
+            endpoints=endpoints,
+            uplink_lanes=uplink_lanes,
+            endpoint_lanes=endpoint_lanes,
+            energy_sink=meter.sink,
+        )
+        geometry = geometry or small_geometry(device_capacity)
+
+        compstors = [
+            CompStorSSD(
+                sim,
+                name=f"compstor{i}",
+                geometry=geometry,
+                port=fabric.ports[i],
+                meter=meter,
+                registry=registry.clone() if registry is not None else None,
+                store_data=store_data,
+                ftl_config=ftl_config,
+                tracer=tracer,
+            )
+            for i in range(devices)
+        ]
+        baseline = None
+        if with_baseline_ssd:
+            baseline = ConventionalSSD(
+                sim,
+                name="baseline-ssd",
+                geometry=geometry,
+                port=fabric.ports[devices],
+                meter=meter,
+                store_data=store_data,
+                ftl_config=ftl_config,
+                tracer=tracer,
+            )
+        host = HostServer(sim, meter=meter, tracer=tracer)
+        if baseline is not None:
+            host.mount(baseline.controller)
+        client = InSituClient(sim, tracer=tracer)
+        for ssd in compstors:
+            client.attach(ssd.controller)
+        return cls(sim, host, fabric, compstors, client, meter, baseline_ssd=baseline)
+
+    # -- dataset staging ----------------------------------------------------------
+    def stage_corpus(
+        self,
+        books: Sequence[BookFile],
+        compressed: bool = True,
+        include_host: bool = False,
+    ) -> Generator:
+        """Distribute books round-robin across the CompStors' filesystems.
+
+        ``include_host`` additionally stages *all* books on the host's
+        baseline drive (for host-vs-device comparisons).
+        """
+        parts = partition_round_robin(list(books), len(self.compstors))
+        procs = []
+        for ssd, part in zip(self.compstors, parts):
+            stage = self._stage_books(ssd.fs, part, compressed)
+            procs.append(self.sim.process(stage, name=f"stage->{ssd.name}"))
+        if include_host:
+            fs = self.host.require_os().fs
+            procs.append(
+                self.sim.process(self._stage_books(fs, books, compressed), name="stage->host")
+            )
+        yield self.sim.all_of(procs)
+        return None
+
+    @staticmethod
+    def _stage_books(fs, books: Iterable[BookFile], compressed: bool) -> Generator:
+        for book in books:
+            if compressed:
+                yield from fs.write_file(
+                    book.compressed_name, book.compressed, size=book.compressed_size
+                )
+            else:
+                yield from fs.write_file(book.name, book.plain, size=book.plain_size)
+        # land everything on NAND so measurements that follow staging see a
+        # quiescent device (the paper pre-loads its dataset)
+        yield from fs.device.flush()
+        return None
+
+    def device_books(self, books: Sequence[BookFile]) -> dict[str, list[BookFile]]:
+        """Which device holds which book under round-robin staging."""
+        parts = partition_round_robin(list(books), len(self.compstors))
+        return {ssd.name: part for ssd, part in zip(self.compstors, parts)}
+
+    # -- reporting ----------------------------------------------------------------
+    def describe(self) -> dict:
+        return {
+            "host": self.host.describe(),
+            "devices": [ssd.describe() for ssd in self.compstors],
+            "fabric_endpoints": len(self.fabric),
+            "baseline_ssd": self.baseline_ssd.describe() if self.baseline_ssd else None,
+        }

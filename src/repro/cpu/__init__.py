@@ -1,0 +1,18 @@
+"""CPU core/cluster models.
+
+Two parameter sets matter for the paper's evaluation:
+
+- the **ISPS processor**: a quad-core ARM Cortex-A53 @ 1.5 GHz (Table II);
+- the **host processor**: an Intel Xeon E5-2620 v4 (Table IV).
+
+A cluster executes *cycles*; applications convert bytes to cycles through
+per-ISA cost models (see :mod:`repro.analysis.calibration`), which is where
+the ARM-vs-Xeon single-thread performance gap and the perf/watt advantage
+live.
+"""
+
+from repro.cpu.core import CpuCluster, CpuSpec
+from repro.cpu.models import ARM_A53_QUAD, XEON_E5_2620_V4
+from repro.cpu.scheduler import RunQueue
+
+__all__ = ["ARM_A53_QUAD", "CpuCluster", "CpuSpec", "RunQueue", "XEON_E5_2620_V4"]

@@ -1,0 +1,42 @@
+"""Processor parameter sets.
+
+Sources:
+
+- **ARM_A53_QUAD** — the paper's Table II: quad-core 64-bit Cortex-A53 @
+  1.5 GHz, 32 KB L1 I/D, 1 MB L2, 8 GB DDR4.  A53 is a dual-issue in-order
+  core; sustained IPC ~1.1 on data-processing workloads.  Power from public
+  Zynq UltraScale+ characterisation: ~0.35 W per busy core at 1.5 GHz plus
+  ~0.6 W cluster idle/uncore.
+- **XEON_E5_2620_V4** — the paper's Table IV host: 8C/16T Broadwell-EP @
+  2.1 GHz base.  Wide out-of-order core, sustained IPC ~2.4 on the same
+  workloads.  85 W TDP; ~8 W per busy core active power plus ~18 W package
+  idle/uncore.
+"""
+
+from repro.cpu.core import CpuSpec
+
+__all__ = ["ARM_A53_QUAD", "XEON_E5_2620_V4"]
+
+ARM_A53_QUAD = CpuSpec(
+    name="ARM Cortex-A53 quad @ 1.5 GHz",
+    cores=4,
+    freq_hz=1.5e9,
+    ipc=1.1,
+    p_active_core=0.35,
+    p_idle=0.6,
+    l1_kib=32,
+    l2_kib=1024,
+    dram_gib=8,
+)
+
+XEON_E5_2620_V4 = CpuSpec(
+    name="Intel Xeon E5-2620 v4 @ 2.1 GHz",
+    cores=8,
+    freq_hz=2.1e9,
+    ipc=2.4,
+    p_active_core=8.0,
+    p_idle=18.0,
+    l1_kib=32,
+    l2_kib=20480,
+    dram_gib=32,
+)

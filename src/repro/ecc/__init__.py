@@ -1,0 +1,12 @@
+"""Error-correction engine for the SSD controller.
+
+A BCH-style block code model: each flash page is split into codewords with a
+fixed correction capability ``t``; decode latency grows with the number of
+errors actually corrected, and codewords with more than ``t`` errors are
+uncorrectable (the controller then fails the read — in a real drive RAID-like
+recovery would kick in; here the FTL surfaces an I/O error).
+"""
+
+from repro.ecc.engine import CodewordLayout, EccConfig, EccEngine, UncorrectableError
+
+__all__ = ["CodewordLayout", "EccConfig", "EccEngine", "UncorrectableError"]

@@ -1,0 +1,34 @@
+"""NAND flash media model.
+
+Models the raw storage substrate under the FTL:
+
+- :mod:`repro.flash.geometry` — channel/die/plane/block/page addressing;
+- :mod:`repro.flash.timing` — per-operation latencies and bus speeds;
+- :mod:`repro.flash.energy` — per-operation energy costs;
+- :mod:`repro.flash.errors` — raw bit-error-rate model (wear + retention);
+- :mod:`repro.flash.package` — the behavioural model: dies and channel buses
+  as simulation resources, page program/read and block erase operations with
+  state and wear tracking.
+
+The CompStor paper's Fig. 1 bandwidth argument (16 channels x 533 MB/s per
+SSD, ~545 GB/s aggregate media bandwidth in a 64-SSD server) is a direct
+consequence of this layer's geometry x bus-rate product.
+"""
+
+from repro.flash.energy import FlashEnergy
+from repro.flash.errors import BitErrorModel
+from repro.flash.geometry import FlashGeometry, PageAddress
+from repro.flash.package import EraseFailure, FlashArray, FlashOpError, PageState
+from repro.flash.timing import FlashTiming
+
+__all__ = [
+    "BitErrorModel",
+    "EraseFailure",
+    "FlashArray",
+    "FlashEnergy",
+    "FlashGeometry",
+    "FlashOpError",
+    "FlashTiming",
+    "PageAddress",
+    "PageState",
+]

@@ -1,0 +1,53 @@
+"""Flash operation energy model.
+
+Per-operation energies are in joules; derived from public NAND power numbers
+(tens of mW during tR, ~100 mW during tPROG per die).  The array-level idle
+power covers the standby current of all dies plus the interface PHYs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FlashEnergy"]
+
+
+@dataclass(frozen=True, slots=True)
+class FlashEnergy:
+    """Energy per flash operation and static power.
+
+    Attributes
+    ----------
+    e_read:
+        Joules per page array-read.
+    e_prog:
+        Joules per page program.
+    e_erase:
+        Joules per block erase.
+    e_transfer_per_byte:
+        Bus/IO energy per byte moved over a channel.
+    p_idle_per_die:
+        Standby power per die, watts.
+    """
+
+    e_read: float = 6e-6
+    e_prog: float = 70e-6
+    e_erase: float = 250e-6
+    e_transfer_per_byte: float = 3e-12  # ~3 pJ/byte interface energy
+    p_idle_per_die: float = 5e-3
+
+    def __post_init__(self) -> None:
+        for field in ("e_read", "e_prog", "e_erase", "e_transfer_per_byte", "p_idle_per_die"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be non-negative")
+
+    def transfer_energy(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes * self.e_transfer_per_byte
+
+    def idle_power(self, dies: int) -> float:
+        """Static power of an array with ``dies`` dies, watts."""
+        if dies < 0:
+            raise ValueError("dies must be non-negative")
+        return dies * self.p_idle_per_die

@@ -1,0 +1,320 @@
+"""Behavioural flash array model.
+
+:class:`FlashArray` exposes the three NAND primitives — page read, page
+program, block erase — as simulation processes.  Contention is physical:
+
+- each **die** is a capacity-1 resource (one array operation at a time);
+- each **channel bus** is a capacity-1 resource shared by the dies on it
+  (command + data transfer occupy it);
+
+so aggregate bandwidth grows with channels and per-channel parallelism is
+limited by the bus — exactly the structure behind the paper's Fig. 1.
+
+NAND protocol rules are enforced: pages within a block must be programmed
+sequentially, a programmed page cannot be re-programmed before the block is
+erased, and reading an erased page is a model bug (raises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from repro.flash.energy import FlashEnergy
+from repro.flash.errors import BitErrorModel
+from repro.flash.geometry import BlockAddress, FlashGeometry, PageAddress
+from repro.flash.timing import FlashTiming
+from repro.sim import Resource, Simulator, Tracer
+from repro.sim.trace import NULL_TRACER
+
+__all__ = [
+    "EraseFailure",
+    "FlashArray",
+    "FlashOpError",
+    "FlashStats",
+    "PageState",
+    "ReadResult",
+]
+
+
+class FlashOpError(Exception):
+    """NAND protocol violation (program out of order, read erased page, ...)."""
+
+
+class EraseFailure(Exception):
+    """The block failed to erase — it has worn out (grown bad block)."""
+
+    def __init__(self, block_index: int):
+        super().__init__(f"erase failed on block {block_index}; block is bad")
+        self.block_index = block_index
+
+
+class PageState(IntEnum):
+    ERASED = 0
+    PROGRAMMED = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ReadResult:
+    """Outcome of a page read.
+
+    ``data`` is the stored payload in functional mode (``None`` in analytic
+    mode); ``raw_bit_errors`` feeds the ECC engine.
+    """
+
+    address: PageAddress
+    data: bytes | None
+    raw_bit_errors: int
+
+
+@dataclass(slots=True)
+class FlashStats:
+    """Operation counters for write-amplification and bandwidth reporting."""
+
+    reads: int = 0
+    programs: int = 0
+    erases: int = 0
+    bytes_read: int = 0
+    bytes_programmed: int = 0
+    energy_j: float = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "reads": self.reads,
+            "programs": self.programs,
+            "erases": self.erases,
+            "bytes_read": self.bytes_read,
+            "bytes_programmed": self.bytes_programmed,
+            "energy_j": self.energy_j,
+        }
+
+
+class FlashArray:
+    """A multi-channel NAND array under one controller.
+
+    Parameters
+    ----------
+    sim:
+        The simulator this array lives in.
+    geometry, timing, energy, error_model:
+        Component models; defaults model a 16-channel enterprise drive.
+    energy_sink:
+        Optional callback ``(component_name, joules)`` — wired to the power
+        meter by the SSD assembly.
+    store_data:
+        Functional mode: keep page payloads in memory.  Analytic mode
+        (``False``) tracks only states/wear/timing, for large sweeps.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: FlashGeometry | None = None,
+        timing: FlashTiming | None = None,
+        energy: FlashEnergy | None = None,
+        error_model: BitErrorModel | None = None,
+        name: str = "flash",
+        tracer: Tracer | None = None,
+        energy_sink: Callable[[str, float], None] | None = None,
+        store_data: bool = True,
+    ):
+        self.sim = sim
+        self.geometry = geometry or FlashGeometry()
+        self.timing = timing or FlashTiming()
+        self.energy = energy or FlashEnergy()
+        self.error_model = error_model or BitErrorModel()
+        self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.energy_sink = energy_sink
+        self.store_data = store_data
+
+        geo = self.geometry
+        self.channel_bus = [
+            Resource(sim, capacity=1, name=f"{name}.ch{c}") for c in range(geo.channels)
+        ]
+        self.die_units = [
+            Resource(sim, capacity=1, name=f"{name}.die{d}") for d in range(geo.dies)
+        ]
+        self.page_state = np.zeros(geo.pages, dtype=np.uint8)
+        self.write_pointer = np.zeros(geo.blocks, dtype=np.int32)
+        self.pe_cycles = np.zeros(geo.blocks, dtype=np.int32)
+        self.program_time = np.zeros(geo.blocks, dtype=np.float64)
+        # grown bad blocks: erase on a failed block raises EraseFailure
+        self.failed_blocks: set[int] = set()
+        self._data: dict[int, bytes] = {}
+        # Out-of-band (spare-area) metadata per page.  Real NAND pages carry
+        # a spare region where the FTL stamps the logical address and a
+        # sequence number; it is what makes power-off recovery possible.
+        # Kept even in analytic mode — it is metadata, not payload.
+        self._oob: dict[int, Any] = {}
+        self.stats = FlashStats()
+        self._rng = sim.rng(f"{name}.ber")
+
+    # -- helpers ----------------------------------------------------------
+    def _die_id(self, addr: PageAddress | BlockAddress) -> int:
+        return addr.channel * self.geometry.dies_per_channel + addr.die
+
+    def _charge(self, joules: float) -> None:
+        self.stats.energy_j += joules
+        if self.energy_sink is not None:
+            self.energy_sink(self.name, joules)
+
+    def page_state_of(self, addr: PageAddress) -> PageState:
+        return PageState(int(self.page_state[self.geometry.page_index(addr)]))
+
+    def pe_count(self, block: BlockAddress) -> int:
+        return int(self.pe_cycles[self.geometry.block_index(block)])
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Peak media bandwidth: channels x channel rate (bytes/s)."""
+        return self.geometry.channels * self.timing.channel_rate
+
+    # -- operations (simulation processes) ---------------------------------
+    def read_page(self, addr: PageAddress, retention_s: float | None = None) -> Generator:
+        """Read one page: die array-read, then bus transfer.
+
+        Yields inside a process; returns a :class:`ReadResult`.
+        """
+        geo = self.geometry
+        idx = geo.page_index(addr)
+        if self.page_state[idx] != PageState.PROGRAMMED:
+            raise FlashOpError(f"read of erased page {addr}")
+        die = self.die_units[self._die_id(addr)]
+        bus = self.channel_bus[addr.channel]
+
+        with die.request() as dreq:
+            yield dreq
+            yield self.sim.timeout(self.timing.t_read)
+        with bus.request() as breq:
+            yield breq
+            yield self.sim.timeout(self.timing.transfer_time(geo.page_size))
+
+        block_idx = geo.block_index(addr.block_addr)
+        if retention_s is None:
+            retention_s = max(0.0, self.sim.now - float(self.program_time[block_idx]))
+        errors = self.error_model.sample_errors(
+            self._rng,
+            nbits=geo.page_size * 8,
+            pe_cycles=int(self.pe_cycles[block_idx]),
+            retention_s=retention_s,
+        )
+        self.stats.reads += 1
+        self.stats.bytes_read += geo.page_size
+        self._charge(self.energy.e_read + self.energy.transfer_energy(geo.page_size))
+        self.tracer.emit(self.sim.now, self.name, "flash.read", addr=addr, errors=errors)
+        return ReadResult(addr, self._data.get(idx), errors)
+
+    def page_oob(self, addr: PageAddress) -> Any:
+        """Spare-area metadata of a page (``None`` if absent)."""
+        return self._oob.get(self.geometry.page_index(addr))
+
+    def program_page(
+        self, addr: PageAddress, data: bytes | None = None, oob: Any = None
+    ) -> Generator:
+        """Program one page: bus transfer in, then die program.
+
+        Enforces in-order programming within the block.
+        """
+        geo = self.geometry
+        idx = geo.page_index(addr)
+        block_idx = geo.block_index(addr.block_addr)
+        if self.page_state[idx] == PageState.PROGRAMMED:
+            raise FlashOpError(f"program of already-programmed page {addr}")
+        expected = int(self.write_pointer[block_idx])
+        if addr.page != expected:
+            raise FlashOpError(
+                f"out-of-order program: block {addr.block_addr} expects page "
+                f"{expected}, got {addr.page}"
+            )
+        if data is not None and len(data) > geo.page_size:
+            raise FlashOpError(
+                f"payload of {len(data)} bytes exceeds page size {geo.page_size}"
+            )
+        die = self.die_units[self._die_id(addr)]
+        bus = self.channel_bus[addr.channel]
+
+        with bus.request() as breq:
+            yield breq
+            yield self.sim.timeout(self.timing.transfer_time(geo.page_size))
+        with die.request() as dreq:
+            yield dreq
+            yield self.sim.timeout(self.timing.t_prog)
+
+        self.page_state[idx] = PageState.PROGRAMMED
+        self.write_pointer[block_idx] = addr.page + 1
+        self.program_time[block_idx] = self.sim.now
+        if self.store_data and data is not None:
+            self._data[idx] = data
+        if oob is not None:
+            self._oob[idx] = oob
+        self.stats.programs += 1
+        self.stats.bytes_programmed += geo.page_size
+        self._charge(self.energy.e_prog + self.energy.transfer_energy(geo.page_size))
+        self.tracer.emit(self.sim.now, self.name, "flash.program", addr=addr)
+        return addr
+
+    def mark_block_failed(self, block_index: int) -> None:
+        """Failure injection: the next erase of this block raises
+        :class:`EraseFailure` (a grown bad block)."""
+        if not 0 <= block_index < self.geometry.blocks:
+            raise ValueError(f"no such block {block_index}")
+        self.failed_blocks.add(block_index)
+
+    def erase_block(self, block: BlockAddress) -> Generator:
+        """Erase one block, resetting its pages and incrementing wear.
+
+        Raises :class:`EraseFailure` for blocks marked bad — pages that were
+        already programmed stay readable (real NAND erase failures leave the
+        array contents intact), but the block can never be reused.
+        """
+        geo = self.geometry
+        geo.validate(block)
+        block_idx = geo.block_index(block)
+        die = self.die_units[self._die_id(block)]
+
+        with die.request() as dreq:
+            yield dreq
+            yield self.sim.timeout(self.timing.t_erase)
+        if block_idx in self.failed_blocks:
+            self.tracer.emit(self.sim.now, self.name, "flash.erase-failure", block=block)
+            raise EraseFailure(block_idx)
+
+        start = block_idx * geo.pages_per_block
+        stop = start + geo.pages_per_block
+        self.page_state[start:stop] = PageState.ERASED
+        self.write_pointer[block_idx] = 0
+        self.pe_cycles[block_idx] += 1
+        if self.store_data:
+            for idx in range(start, stop):
+                self._data.pop(idx, None)
+        for idx in range(start, stop):
+            self._oob.pop(idx, None)
+        self.stats.erases += 1
+        self._charge(self.energy.e_erase)
+        self.tracer.emit(self.sim.now, self.name, "flash.erase", block=block)
+        return block
+
+    # -- introspection -------------------------------------------------------
+    def erased_pages_in(self, block: BlockAddress) -> int:
+        geo = self.geometry
+        start = geo.block_index(block) * geo.pages_per_block
+        return int(
+            np.count_nonzero(
+                self.page_state[start : start + geo.pages_per_block] == PageState.ERASED
+            )
+        )
+
+    def describe(self) -> dict[str, Any]:
+        geo = self.geometry
+        return {
+            "channels": geo.channels,
+            "dies": geo.dies,
+            "capacity_bytes": geo.capacity_bytes,
+            "page_size": geo.page_size,
+            "aggregate_bandwidth_bps": self.aggregate_bandwidth,
+            "stats": self.stats.snapshot(),
+        }

@@ -1,0 +1,43 @@
+"""Flash translation layer.
+
+The FTL turns the raw NAND array into a logical block device:
+
+- :mod:`repro.ftl.mapping` — page-level logical-to-physical map with valid
+  page accounting;
+- :mod:`repro.ftl.allocator` — free-block pool and per-die write frontiers
+  (dynamic wear-aware allocation);
+- :mod:`repro.ftl.gc` — garbage-collection victim policies (greedy /
+  cost-benefit) and the background collector;
+- :mod:`repro.ftl.write_buffer` — the "fast-release host data buffer" from
+  the paper: host writes complete on buffer insertion and are flushed to
+  flash asynchronously;
+- :mod:`repro.ftl.ftl` — the :class:`FlashTranslationLayer` facade offering
+  ``read`` / ``write`` / ``trim`` / ``flush``.
+
+In CompStor both the host path (via NVMe) and the ISPS path (via the flash
+access device driver) issue logical I/O against this layer; the ISPS path
+skips the PCIe hop, which is where the in-situ bandwidth advantage
+originates.
+"""
+
+from repro.ftl.allocator import BlockAllocator, OutOfSpaceError
+from repro.ftl.ftl import FlashTranslationLayer, FtlConfig, LogicalIOError
+from repro.ftl.gc import CostBenefitPolicy, GarbageCollector, GcPolicy, GreedyPolicy
+from repro.ftl.mapping import PageMap
+from repro.ftl.scrubber import PatrolScrubber
+from repro.ftl.write_buffer import WriteBuffer
+
+__all__ = [
+    "BlockAllocator",
+    "CostBenefitPolicy",
+    "FlashTranslationLayer",
+    "FtlConfig",
+    "GarbageCollector",
+    "GcPolicy",
+    "GreedyPolicy",
+    "LogicalIOError",
+    "OutOfSpaceError",
+    "PageMap",
+    "PatrolScrubber",
+    "WriteBuffer",
+]

@@ -1,0 +1,231 @@
+"""Garbage collection: victim policies and the background collector.
+
+Two classic policies are provided (and compared in the GC ablation bench):
+
+- **Greedy** — pick the closed block with the fewest valid pages; optimal
+  for uniform workloads, oblivious to block age.
+- **Cost-benefit** — maximise ``(1 - u) / (2u) * age`` (Kawaguchi et al.);
+  favours old, mostly-invalid blocks, separating hot and cold data.
+
+The collector also performs threshold-based **static wear leveling**: when
+the P/E spread across blocks exceeds ``wl_delta``, the coldest (lowest-P/E)
+closed block is forcibly collected so its cold data moves and the block
+rejoins the hot rotation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Protocol, Sequence
+
+from repro.sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ftl.ftl import FlashTranslationLayer
+
+__all__ = ["CostBenefitPolicy", "GarbageCollector", "GcPolicy", "GreedyPolicy"]
+
+
+class GcPolicy(Protocol):
+    """Victim-selection strategy."""
+
+    name: str
+
+    def select(self, candidates: Sequence[int], ftl: "FlashTranslationLayer") -> int:
+        """Pick one block index from ``candidates`` (non-empty)."""
+        ...
+
+
+class GreedyPolicy:
+    """Minimum-valid-pages victim selection."""
+
+    name = "greedy"
+
+    def select(self, candidates: Sequence[int], ftl: "FlashTranslationLayer") -> int:
+        return min(candidates, key=lambda b: (ftl.page_map.valid_pages_in_block(b), b))
+
+
+class CostBenefitPolicy:
+    """Kawaguchi-style cost-benefit victim selection."""
+
+    name = "cost-benefit"
+
+    def select(self, candidates: Sequence[int], ftl: "FlashTranslationLayer") -> int:
+        per_block = ftl.flash.geometry.pages_per_block
+        now = ftl.sim.now
+
+        def benefit(block: int) -> float:
+            u = ftl.page_map.valid_pages_in_block(block) / per_block
+            age = max(now - float(ftl.flash.program_time[block]), 1e-9)
+            if u <= 0.0:
+                return float("inf")  # free win: no relocation cost
+            return (1.0 - u) / (2.0 * u) * age
+
+        return max(candidates, key=lambda b: (benefit(b), -b))
+
+
+class GarbageCollector:
+    """Background collector driven by free-block watermarks.
+
+    The FTL calls :meth:`kick` after consuming space; the collector runs
+    until the free pool recovers to the high watermark.  Erase waits for
+    in-flight reads on the victim to drain (quiesce) so no read ever
+    observes an erased page.
+    """
+
+    def __init__(
+        self,
+        ftl: "FlashTranslationLayer",
+        policy: GcPolicy,
+        low_watermark: int,
+        high_watermark: int,
+        wl_delta: int = 0,
+    ):
+        if high_watermark < low_watermark:
+            raise ValueError("high_watermark must be >= low_watermark")
+        self.ftl = ftl
+        self.policy = policy
+        self.low_watermark = low_watermark
+        self.high_watermark = high_watermark
+        self.wl_delta = wl_delta
+        self.collections = 0
+        self.pages_relocated = 0
+        self.wl_migrations = 0
+        self.relocation_failures = 0  # uncorrectable reads during GC (data loss)
+        self.blocks_retired = 0  # erase failures (grown bad blocks)
+        self._kick: Event | None = None
+        self._idle = True
+        self.process = ftl.sim.process(self._run(), name=f"{ftl.name}.gc")
+
+    # -- control ----------------------------------------------------------
+    def kick(self) -> None:
+        """Wake the collector if the free pool is at/below the low mark."""
+        if self._kick is not None and not self._kick.triggered:
+            self._kick.succeed()
+
+    @property
+    def idle(self) -> bool:
+        return self._idle
+
+    # -- main loop ----------------------------------------------------------
+    def _run(self) -> Generator:
+        ftl = self.ftl
+        while True:
+            if ftl.allocator.free_blocks > self.low_watermark and not self._needs_wl():
+                yield from self._wait_for_kick()
+            self._idle = False
+            progressed = False
+            while ftl.allocator.free_blocks < self.high_watermark or self._needs_wl():
+                victim = self._choose_victim()
+                if victim is None:
+                    break  # nothing reclaimable right now
+                yield from self._collect(victim)
+                progressed = True
+            if not progressed:
+                # Below the watermark but no victim (e.g. every closed block
+                # is fully valid): sleep until a trim/write changes things.
+                yield from self._wait_for_kick()
+
+    def _wait_for_kick(self) -> Generator:
+        self._kick = self.ftl.sim.event(name="gc.kick")
+        self._idle = True
+        yield self._kick
+        self._kick = None
+
+    def _needs_wl(self) -> bool:
+        if self.wl_delta <= 0:
+            return False
+        low, high, _ = self.ftl.allocator.wear_spread()
+        return high - low > self.wl_delta
+
+    def _choose_victim(self) -> int | None:
+        ftl = self.ftl
+        candidates = ftl.allocator.closed_blocks()
+        if not candidates:
+            return None
+        if self._needs_wl():
+            pe = ftl.flash.pe_cycles
+            coldest = min(candidates, key=lambda b: (int(pe[b]), b))
+            low, high, _ = ftl.allocator.wear_spread()
+            if high - int(pe[coldest]) > self.wl_delta:
+                self.wl_migrations += 1
+                return coldest
+        # A victim is only worth starting if (a) it has reclaimable space
+        # (collecting a fully valid block wastes a P/E cycle) and (b) its
+        # valid pages fit in the space we can write to right now — starting
+        # an uncompletable collection would livelock the device.
+        # Only count space the GC stream alone controls (its frontiers plus
+        # the free pool, which includes the GC reserve): host-visible space
+        # could be consumed concurrently and must not enter the feasibility
+        # decision.
+        per_block = ftl.flash.geometry.pages_per_block
+        available = (
+            ftl.allocator.free_blocks * per_block
+            + ftl.allocator.frontier_space(ftl.GC)
+        )
+        reclaimable = [
+            b
+            for b in candidates
+            if ftl.page_map.valid_pages_in_block(b) < per_block
+            and ftl.page_map.valid_pages_in_block(b) <= available
+            and ftl.block_writers(b) == 0
+            and b not in ftl._reclaiming
+        ]
+        if not reclaimable:
+            return None
+        return self.policy.select(reclaimable, ftl)
+
+    def _collect(self, block_index: int) -> Generator:
+        """Relocate valid pages out of ``block_index`` and erase it."""
+        ftl = self.ftl
+        if block_index in ftl._reclaiming:
+            return  # the scrubber got there first
+        ftl._reclaiming.add(block_index)
+        try:
+            yield from self._collect_inner(block_index)
+        finally:
+            ftl._reclaiming.discard(block_index)
+
+    def _relocate_or_drop(self, lpn: int, old_ppn: int) -> Generator:
+        """Relocate one page; an uncorrectable source read loses the data
+        (the mapping is dropped and the loss recorded) rather than killing
+        the collector."""
+        from repro.ftl.ftl import LogicalIOError
+
+        ftl = self.ftl
+        try:
+            yield from ftl.relocate(lpn, old_ppn)
+            self.pages_relocated += 1
+        except LogicalIOError:
+            self.relocation_failures += 1
+            if ftl.page_map.lookup(lpn) == old_ppn:
+                ftl.page_map.unbind(lpn)
+            ftl.tracer.emit(ftl.sim.now, ftl.name, "gc.data-loss", lpn=lpn)
+        return None
+
+    def _collect_inner(self, block_index: int) -> Generator:
+        from repro.flash.package import EraseFailure
+
+        ftl = self.ftl
+        for lpn in ftl.page_map.valid_lpns_in_block(block_index):
+            old_ppn = ftl.page_map.lookup(lpn)
+            if old_ppn // ftl.flash.geometry.pages_per_block != block_index:
+                continue  # host overwrote while we were collecting
+            yield from self._relocate_or_drop(lpn, old_ppn)
+        # quiesce in-flight readers and writers before the erase; any writer
+        # that binds late re-validates a page, which we then relocate too
+        while ftl.block_readers(block_index) > 0 or ftl.block_writers(block_index) > 0:
+            yield ftl.sim.timeout(ftl.reader_quiesce_delay)
+            for lpn in ftl.page_map.valid_lpns_in_block(block_index):
+                yield from self._relocate_or_drop(lpn, ftl.page_map.lookup(lpn))
+        ftl.page_map.release_block(block_index)
+        try:
+            yield from ftl.flash.erase_block(ftl.flash.geometry.block_address(block_index))
+        except EraseFailure:
+            # grown bad block: take it out of service instead of reusing it
+            ftl.allocator.retire_block(block_index)
+            self.blocks_retired += 1
+            ftl.tracer.emit(ftl.sim.now, ftl.name, "gc.block-retired", block=block_index)
+            return
+        ftl.allocator.release_block(block_index)
+        self.collections += 1
+        ftl.tracer.emit(ftl.sim.now, ftl.name, "gc.collect", block=block_index)

@@ -1,0 +1,14 @@
+"""Host side: the server model, the in-situ client library, and the client.
+
+- :class:`HostServer` — Table IV's machine: Xeon E5-2620 v4, 32 GB DDR4,
+  platform power, with an OS mounted over an NVMe-attached drive;
+- :class:`InSituClient` — the paper's statically-linked **in-situ library**:
+  high-level APIs that configure minions/queries and move them over NVMe
+  vendor commands.  It lives *only* on the client; off-loadable executables
+  need no modification (contrast with rewrite-the-app frameworks).
+"""
+
+from repro.host.insitu import InSituClient
+from repro.host.server import HostServer
+
+__all__ = ["HostServer", "InSituClient"]

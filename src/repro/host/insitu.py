@@ -1,0 +1,158 @@
+"""The in-situ library + client.
+
+"A C/C++ library that provides high-level APIs for the client...  the
+CompStor in-situ library is only intended to be used in the client, not in
+the off-loadable executable, which does not need any modification."
+
+:class:`InSituClient` is that library's API surface: it configures minions
+and queries, tunnels them through NVMe vendor commands, and (because a
+client may drive *several* CompStors concurrently) provides gather/map
+helpers for parallel dispatch — the paper's "thousands of concurrent
+minions" pattern in miniature.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from repro.nvme import IscPayload, NvmeCommand, NvmeController, Opcode
+from repro.proto.entities import Command, Minion, Query, QueryKind
+from repro.sim import Simulator, Tracer
+from repro.sim.trace import NULL_TRACER
+
+__all__ = ["InSituClient", "InSituError"]
+
+
+class InSituError(Exception):
+    """Transport-level failure delivering a minion or query."""
+
+
+class InSituClient:
+    """Host-side controller of the in-situ processing flow (master side)."""
+
+    def __init__(self, sim: Simulator, name: str = "client", tracer: Tracer | None = None):
+        self.sim = sim
+        self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._devices: dict[str, NvmeController] = {}
+        self.minions_sent = 0
+        self.queries_sent = 0
+
+    # -- topology ------------------------------------------------------------
+    def attach(self, controller: NvmeController) -> str:
+        """Register a CompStor; returns its device name."""
+        ident = controller.identify()
+        device_name = ident["model"].removesuffix(".nvme")
+        if device_name in self._devices:
+            raise ValueError(f"device {device_name!r} already attached")
+        if not ident["isc_capable"]:
+            raise InSituError(f"device {device_name!r} has no in-situ capability")
+        self._devices[device_name] = controller
+        return device_name
+
+    def devices(self) -> list[str]:
+        return sorted(self._devices)
+
+    def _controller(self, device: str) -> NvmeController:
+        try:
+            return self._devices[device]
+        except KeyError as exc:
+            raise InSituError(f"unknown device {device!r} (attached: {self.devices()})") from exc
+
+    # -- minions -----------------------------------------------------------
+    def send_minion(self, device: str, command: Command) -> Generator:
+        """Ship a command; blocks until the response returns.
+
+        Returns the completed :class:`Minion` (response populated by the
+        device, per Fig. 3).
+        """
+        controller = self._controller(device)
+        minion = Minion(command=command, client=self.name, created_at=self.sim.now)
+        self.tracer.emit(
+            self.sim.now, self.name, "client.minion.sent",
+            minion=minion.minion_id, device=device,
+        )
+        self.minions_sent += 1
+        payload = IscPayload(body=minion, nbytes=command.wire_bytes)
+        completion = yield from controller.queue(0).call(
+            NvmeCommand(opcode=Opcode.ISC_MINION, payload=payload)
+        )
+        if not completion.ok:
+            raise InSituError(f"minion {minion.minion_id} failed: {completion.status.name}")
+        returned: Minion = completion.result
+        self.tracer.emit(
+            self.sim.now, self.name, "client.minion.returned",
+            minion=returned.minion_id, device=device,
+            status=returned.response.status.value if returned.response else "?",
+        )
+        return returned
+
+    def run(self, device: str, command_line: str = "", script: str = "", **kw) -> Generator:
+        """Convenience: build the Command, send the minion, return the Response."""
+        minion = yield from self.send_minion(
+            device, Command(command_line=command_line, script=script, **kw)
+        )
+        assert minion.response is not None
+        return minion.response
+
+    def gather(self, assignments: Sequence[tuple[str, Command]]) -> Generator:
+        """Dispatch many minions concurrently; returns responses in order.
+
+        This is the client fan-out the paper's Fig. 6/7 experiments rely on:
+        one host client driving N CompStors in parallel.
+        """
+        procs = [
+            self.sim.process(self.send_minion(device, command), name=f"minion->{device}")
+            for device, command in assignments
+        ]
+        results = yield self.sim.all_of(procs)
+        minions: list[Minion] = [results[p] for p in procs]
+        return [m.response for m in minions]
+
+    # -- queries -----------------------------------------------------------
+    def query(self, device: str, kind: QueryKind, payload: Any = None) -> Generator:
+        """Administrative round trip; returns the reply."""
+        controller = self._controller(device)
+        query = Query(kind=kind, payload=payload)
+        self.queries_sent += 1
+        completion = yield from controller.queue(0).call(
+            NvmeCommand(
+                opcode=Opcode.ISC_QUERY,
+                payload=IscPayload(body=query, nbytes=query.wire_bytes),
+            )
+        )
+        if not completion.ok:
+            raise InSituError(f"query {query.query_id} failed: {completion.status.name}")
+        return completion.result.reply
+
+    def status(self, device: str) -> Generator:
+        reply = yield from self.query(device, QueryKind.STATUS)
+        return reply
+
+    def status_all(self) -> Generator:
+        """Telemetry from every attached device, concurrently."""
+        names = self.devices()
+        procs = [self.sim.process(self.status(name)) for name in names]
+        results = yield self.sim.all_of(procs)
+        return {name: results[proc] for name, proc in zip(names, procs)}
+
+    def load_executable(self, device: str, executable: Any) -> Generator:
+        """Dynamic task loading: install a new binary on a running device."""
+        controller = self._controller(device)
+        completion = yield from controller.queue(0).call(
+            NvmeCommand(
+                opcode=Opcode.ISC_LOAD,
+                payload=IscPayload(body=executable, nbytes=512 * 1024),
+            )
+        )
+        if not completion.ok:
+            raise InSituError(f"load of {executable.name!r} failed")
+        return completion.result
+
+    def load_executable_everywhere(self, executable: Any) -> Generator:
+        procs = [
+            self.sim.process(self.load_executable(name, executable))
+            for name in self.devices()
+        ]
+        yield self.sim.all_of(procs)
+        return None

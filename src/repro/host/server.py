@@ -1,0 +1,86 @@
+"""The host server (paper Table IV).
+
+Xeon E5-2620 v4, 32 GB DDR4, Ubuntu 16.04.  The host's filesystem sits on an
+NVMe block device, so every byte a host-side application scans crosses the
+drive's NVMe front-end and the PCIe fabric — the data-movement cost that
+in-situ processing avoids.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.calibration import HOST_DRAM_W, HOST_PLATFORM_IDLE_W, XEON_ISA
+from repro.apps import default_registry
+from repro.cpu.core import CpuCluster, CpuSpec
+from repro.cpu.models import XEON_E5_2620_V4
+from repro.isos.blockdev import NvmeBlockDevice
+from repro.isos.filesystem import ExtentFileSystem
+from repro.isos.loader import ExecutableRegistry
+from repro.isos.os import EmbeddedOS
+from repro.nvme import NvmeController
+from repro.power import PowerMeter
+from repro.sim import Simulator, Tracer
+
+__all__ = ["HostServer"]
+
+
+class HostServer:
+    """Xeon host: CPU cluster + OS over an NVMe-attached drive."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "host",
+        spec: CpuSpec = XEON_E5_2620_V4,
+        meter: PowerMeter | None = None,
+        registry: ExecutableRegistry | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.spec = spec
+        self.meter = meter
+        self.tracer = tracer
+        sink = meter.sink if meter is not None else None
+        self.cluster = CpuCluster(sim, spec, name=f"{name}.cpu", energy_sink=sink)
+        self.registry = registry or default_registry()
+        self.os: EmbeddedOS | None = None
+        self.fs: ExtentFileSystem | None = None
+        if meter is not None:
+            meter.register_static(f"{name}.cpu.idle", spec.p_idle)
+            meter.register_static(f"{name}.dram", HOST_DRAM_W)
+            meter.register_static(f"{name}.platform", HOST_PLATFORM_IDLE_W)
+
+    def mount(self, controller: NvmeController, queue_index: int = 0) -> EmbeddedOS:
+        """Attach a drive and boot the host OS over it."""
+        ident = controller.identify()
+        device = NvmeBlockDevice(
+            self.sim,
+            controller.queue(queue_index),
+            page_size=ident["page_size"],
+            pages=ident["logical_pages"],
+        )
+        self.fs = ExtentFileSystem(self.sim, device)
+        self.os = EmbeddedOS(
+            self.sim,
+            self.cluster,
+            self.fs,
+            self.registry,
+            isa=XEON_ISA,
+            name=f"{self.name}.os",
+            tracer=self.tracer,
+        )
+        return self.os
+
+    def require_os(self) -> EmbeddedOS:
+        if self.os is None:
+            raise RuntimeError("host has no mounted drive; call mount() first")
+        return self.os
+
+    def describe(self) -> dict:
+        """Table IV in data form."""
+        return {
+            "cpu": self.spec.name,
+            "memory_gib": self.spec.dram_gib,
+            "operating_system": "Ubuntu 16.04 (modelled)",
+            "mounted": self.os is not None,
+        }

@@ -1,0 +1,54 @@
+"""OS process bookkeeping."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.isos.loader import ExitStatus
+from repro.sim.core import Process
+
+__all__ = ["OsProcess", "ProcessState"]
+
+_pid_counter = itertools.count(100)
+
+
+class ProcessState(Enum):
+    RUNNING = "running"
+    EXITED = "exited"
+    FAILED = "failed"
+
+
+@dataclass(slots=True)
+class OsProcess:
+    """One spawned command."""
+
+    command: str
+    sim_process: Process
+    pid: int = field(default_factory=lambda: next(_pid_counter))
+    started_at: float = 0.0
+    finished_at: float | None = None
+    state: ProcessState = ProcessState.RUNNING
+    exit_status: ExitStatus | None = None
+    error: BaseException | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.state == ProcessState.RUNNING
+
+    @property
+    def runtime(self) -> float | None:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "pid": self.pid,
+            "command": self.command,
+            "state": self.state.value,
+            "runtime": self.runtime,
+            "exit_code": self.exit_status.code if self.exit_status else None,
+        }

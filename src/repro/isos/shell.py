@@ -1,0 +1,72 @@
+"""Shell command parsing.
+
+CompStor accepts "Linux shell commands/scripts" as off-loadable work.  The
+model supports:
+
+- single commands: ``grep -c pattern books.txt``
+- pipelines: ``gunzip file.gz | grep pattern`` (stage N's stdout feeds
+  stage N+1's stdin);
+- scripts: newline-/semicolon-separated command sequences.
+
+Parsing uses POSIX quoting rules via :mod:`shlex`.
+"""
+
+from __future__ import annotations
+
+import shlex
+
+__all__ = ["ShellError", "parse_command_line", "split_pipeline", "split_script"]
+
+
+class ShellError(Exception):
+    """Malformed command line."""
+
+
+def parse_command_line(line: str) -> list[str]:
+    """Tokenise one command into argv (POSIX quoting)."""
+    try:
+        argv = shlex.split(line, posix=True)
+    except ValueError as exc:
+        raise ShellError(f"cannot parse {line!r}: {exc}") from exc
+    if not argv:
+        raise ShellError("empty command")
+    return argv
+
+
+def split_pipeline(line: str) -> list[list[str]]:
+    """Split on ``|`` (outside quotes) and tokenise each stage."""
+    stages: list[str] = []
+    current: list[str] = []
+    depth_quote: str | None = None
+    for ch in line:
+        if depth_quote:
+            if ch == depth_quote:
+                depth_quote = None
+            current.append(ch)
+        elif ch in "'\"":
+            depth_quote = ch
+            current.append(ch)
+        elif ch == "|":
+            stages.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth_quote:
+        raise ShellError(f"unterminated quote in {line!r}")
+    stages.append("".join(current))
+    parsed = [parse_command_line(stage) for stage in stages if stage.strip()]
+    if not parsed:
+        raise ShellError("empty pipeline")
+    return parsed
+
+
+def split_script(script: str) -> list[str]:
+    """Split a script into command lines on newlines and ``;``."""
+    lines: list[str] = []
+    for raw in script.replace(";", "\n").splitlines():
+        line = raw.strip()
+        if line and not line.startswith("#"):
+            lines.append(line)
+    if not lines:
+        raise ShellError("empty script")
+    return lines

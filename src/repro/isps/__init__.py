@@ -1,0 +1,18 @@
+"""The in-situ processing subsystem (ISPS).
+
+The dedicated hardware + software that distinguishes CompStor from
+shared-controller designs (Biscuit, Smart SSD): its own quad-A53 cluster,
+its own DRAM, an embedded Linux, and a direct flash data path — so storage
+commands never contend with computation for processing resources.
+
+- :mod:`repro.isps.subsystem` — the hardware/OS assembly;
+- :mod:`repro.isps.agent` — the ISPS agent daemon (receives minions, spawns
+  executables, returns responses; handles queries);
+- :mod:`repro.isps.telemetry` — status snapshots for load balancing.
+"""
+
+from repro.isps.agent import IspsAgent
+from repro.isps.subsystem import InSituProcessingSubsystem
+from repro.isps.telemetry import TelemetrySnapshot
+
+__all__ = ["InSituProcessingSubsystem", "IspsAgent", "TelemetrySnapshot"]

@@ -1,0 +1,210 @@
+"""The ISPS agent daemon.
+
+"A daemon running on CompStor which is responsible for receiving minions
+from clients and spawning in-storage processes based on the command inside
+the received minions.  The daemon populates the response fields of the
+minion and sends it back to the client after task completion."
+
+The agent registers itself as the NVMe controller's ISC handler, so minions
+and queries arrive through the same wire as storage traffic — but execute on
+the ISPS's own cores.  Each NVMe worker invocation runs independently, so
+several concurrent minions naturally share the quad-A53 through the OS
+scheduler.
+
+Trace kinds emitted per minion reproduce the paper's Table III lifetime:
+``minion.received`` (step 2), ``minion.spawned`` (2), the driver's flash
+traffic (3-4), ``minion.tracked`` (5), ``minion.responded`` (6).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.isos.process import ProcessState
+from repro.isps.subsystem import InSituProcessingSubsystem
+from repro.sim.core import Interrupt
+from repro.isps.telemetry import TelemetrySnapshot
+from repro.nvme.commands import Opcode
+from repro.proto.entities import Minion, Query, QueryKind, Response, ResponseStatus
+from repro.sim import Simulator, Tracer
+from repro.sim.trace import NULL_TRACER
+
+__all__ = ["IspsAgent"]
+
+
+class IspsAgent:
+    """Receives minions/queries, spawns processes, returns responses."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        isps: InSituProcessingSubsystem,
+        device_name: str = "compstor",
+        tracer: Tracer | None = None,
+        track_interval: float = 10e-3,
+    ):
+        self.sim = sim
+        self.isps = isps
+        self.device_name = device_name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.track_interval = track_interval
+        self.minions_served = 0
+        self.queries_served = 0
+        self.active_minions = 0
+
+    # -- NVMe ISC dispatch ---------------------------------------------------
+    def handle(self, opcode: Opcode, body: Any) -> Generator:
+        """Entry point registered with :meth:`NvmeController.register_isc_handler`."""
+        if opcode == Opcode.ISC_MINION:
+            if not isinstance(body, Minion):
+                raise TypeError(f"ISC_MINION payload must be a Minion, got {type(body)}")
+            result = yield from self._serve_minion(body)
+            return result
+        if opcode == Opcode.ISC_QUERY:
+            if not isinstance(body, Query):
+                raise TypeError(f"ISC_QUERY payload must be a Query, got {type(body)}")
+            result = yield from self._serve_query(body)
+            return result
+        if opcode == Opcode.ISC_LOAD:
+            result = yield from self._serve_load(body)
+            return result
+        raise ValueError(f"agent cannot handle opcode {opcode!r}")
+
+    # -- minions -----------------------------------------------------------
+    def _serve_minion(self, minion: Minion) -> Generator:
+        command = minion.command
+        self.tracer.emit(
+            self.sim.now, f"{self.device_name}.agent", "minion.received",
+            minion=minion.minion_id, command=command.command_line or "<script>",
+        )
+        self.active_minions += 1
+        started = self.sim.now
+        try:
+            response = yield from self._execute(minion)
+        finally:
+            self.active_minions -= 1
+        response.execution_seconds = self.sim.now - started
+        response.device = self.device_name
+        minion.response = response
+        minion.completed_at = self.sim.now
+        self.minions_served += 1
+        self.tracer.emit(
+            self.sim.now, f"{self.device_name}.agent", "minion.responded",
+            minion=minion.minion_id, status=response.status.value,
+        )
+        return minion
+
+    def _execute(self, minion: Minion) -> Generator:
+        command = minion.command
+        os_ = self.isps.os
+        # validate the data contract before spawning
+        missing = [f for f in command.input_files if not os_.fs.exists(f)]
+        if missing:
+            return Response(
+                status=ResponseStatus.REJECTED,
+                exit_code=-1,
+                stdout=f"missing input files: {missing}".encode(),
+            )
+        try:
+            if command.script:
+                process = None
+                results = yield from self._run_script_tracked(command)
+                status = results[-1][1] if results else None
+                exit_code = status.code if status else -1
+                stdout = status.stdout if status else b""
+                detail = dict(status.detail) if status else {}
+                detail["script_steps"] = len(results)
+            else:
+                process = os_.spawn(command.command_line, priority=command.priority)
+                self.tracer.emit(
+                    self.sim.now, f"{self.device_name}.agent", "minion.spawned",
+                    minion=minion.minion_id, pid=process.pid,
+                )
+                self.sim.process(self._track(minion, process), name="agent.tracker")
+                if command.timeout_seconds > 0:
+                    self.sim.process(
+                        self._watchdog(process, command.timeout_seconds),
+                        name="agent.watchdog",
+                    )
+                status = yield from os_.wait(process)
+                exit_code = status.code
+                stdout = status.stdout
+                detail = dict(status.detail)
+        except KeyError as exc:
+            return Response(
+                status=ResponseStatus.REJECTED, exit_code=-1, stdout=str(exc).encode()
+            )
+        except Interrupt:
+            return Response(
+                status=ResponseStatus.TIMEOUT,
+                exit_code=-1,
+                stdout=f"killed after {command.timeout_seconds}s".encode(),
+            )
+        except Exception as exc:  # executable crashed
+            return Response(
+                status=ResponseStatus.CRASHED, exit_code=-1, stdout=repr(exc).encode()
+            )
+        status_kind = ResponseStatus.OK if exit_code == 0 else ResponseStatus.APP_ERROR
+        return Response(
+            status=status_kind, exit_code=exit_code, stdout=stdout, detail=detail
+        )
+
+    def _run_script_tracked(self, command) -> Generator:
+        results = yield from self.isps.os.run_script(command.script, priority=command.priority)
+        return results
+
+    def _watchdog(self, process, timeout_seconds: float) -> Generator:
+        """Kill a runaway task: SIGKILL as an interrupt into its process."""
+        yield self.sim.timeout(timeout_seconds)
+        if process.state == ProcessState.RUNNING:
+            process.sim_process.interrupt("agent watchdog timeout")
+        return None
+
+    def _track(self, minion: Minion, process) -> Generator:
+        """Step 5 of Table III: the agent keeps track of in-situ status."""
+        while process.state == ProcessState.RUNNING:
+            self.tracer.emit(
+                self.sim.now, f"{self.device_name}.agent", "minion.tracked",
+                minion=minion.minion_id, pid=process.pid,
+                utilization=self.isps.cluster.utilization(),
+            )
+            yield self.sim.timeout(self.track_interval)
+        return None
+
+    # -- queries -----------------------------------------------------------
+    def _serve_query(self, query: Query) -> Generator:
+        yield self.sim.timeout(50e-6)  # agent wakeup + admin handling
+        if query.kind == QueryKind.STATUS:
+            query.reply = self.telemetry()
+        elif query.kind == QueryKind.LIST_EXECUTABLES:
+            query.reply = self.isps.os.registry.installed()
+        elif query.kind == QueryKind.LIST_FILES:
+            query.reply = self.isps.os.fs.listdir()
+        elif query.kind == QueryKind.PING:
+            query.reply = "pong"
+        elif query.kind == QueryKind.LOAD_EXECUTABLE:
+            self.isps.os.install_executable(query.payload)
+            query.reply = f"loaded {query.payload.name}"
+        else:  # pragma: no cover - exhaustive over QueryKind
+            raise ValueError(f"unknown query kind {query.kind}")
+        self.queries_served += 1
+        return query
+
+    def _serve_load(self, executable) -> Generator:
+        yield self.sim.timeout(200e-6)  # image transfer/installation overhead
+        self.isps.os.install_executable(executable)
+        self.queries_served += 1
+        return f"loaded {executable.name}"
+
+    def telemetry(self) -> TelemetrySnapshot:
+        os_ = self.isps.os
+        return TelemetrySnapshot(
+            device=self.device_name,
+            time=self.sim.now,
+            core_utilization=os_.utilization(),
+            temperature_c=os_.temperature_c(),
+            running_processes=os_.running_processes(),
+            active_minions=self.active_minions,
+            uptime=os_.uptime(),
+            free_bytes=os_.fs.free_bytes,
+        )

@@ -1,0 +1,69 @@
+"""ISPS hardware/OS assembly.
+
+Table II: 64-bit quad-core ARM Cortex-A53 @ 1.5 GHz, 32 KB L1, 1 MB L2,
+8 GB DDR4.  The subsystem owns a :class:`~repro.cpu.core.CpuCluster`, an
+:class:`~repro.isos.os.EmbeddedOS` and a
+:class:`~repro.isos.blockdev.FlashAccessDevice` with a *direct* path to the
+drive's own FTL — no PCIe, no NVMe queueing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.calibration import ARM_ISA
+from repro.cpu.core import CpuCluster, CpuSpec
+from repro.cpu.models import ARM_A53_QUAD
+from repro.ftl import FlashTranslationLayer
+from repro.isos.blockdev import FlashAccessDevice
+from repro.isos.filesystem import ExtentFileSystem
+from repro.isos.loader import ExecutableRegistry
+from repro.isos.os import EmbeddedOS
+from repro.sim import Simulator, Tracer
+
+__all__ = ["InSituProcessingSubsystem"]
+
+
+class InSituProcessingSubsystem:
+    """Dedicated in-storage computation hardware + embedded Linux."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ftl: FlashTranslationLayer,
+        registry: ExecutableRegistry,
+        spec: CpuSpec = ARM_A53_QUAD,
+        name: str = "isps",
+        energy_sink: Callable[[str, float], None] | None = None,
+        tracer: Tracer | None = None,
+        fs: ExtentFileSystem | None = None,
+        cluster: CpuCluster | None = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.spec = cluster.spec if cluster is not None else spec
+        self.cluster = cluster if cluster is not None else CpuCluster(
+            sim, spec, name=f"{name}.cpu", energy_sink=energy_sink
+        )
+        self.device = FlashAccessDevice(sim, ftl)
+        self.fs = fs if fs is not None else ExtentFileSystem(sim, self.device)
+        self.os = EmbeddedOS(
+            sim,
+            self.cluster,
+            self.fs,
+            registry,
+            isa=ARM_ISA,
+            name=f"{name}.linux",
+            tracer=tracer,
+        )
+
+    def describe(self) -> dict:
+        """Table II in data form."""
+        return {
+            "processor": self.spec.name,
+            "cores": self.spec.cores,
+            "freq_hz": self.spec.freq_hz,
+            "l1_kib": self.spec.l1_kib,
+            "l2_kib": self.spec.l2_kib,
+            "dram_gib": self.spec.dram_gib,
+        }

@@ -1,0 +1,34 @@
+"""Device status telemetry.
+
+Returned by STATUS queries; the paper: "get information about the current
+status of CompStor such as ARM cores utilization, or temperature of the
+cores.  This information could be used for load balancing."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TelemetrySnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetrySnapshot:
+    """Point-in-time device health/status."""
+
+    device: str
+    time: float
+    core_utilization: float
+    temperature_c: float
+    running_processes: int
+    active_minions: int
+    uptime: float
+    free_bytes: int
+
+    def load_score(self) -> float:
+        """Scalar used by load balancers (higher = busier).
+
+        Active minions dominate; utilisation breaks ties between devices
+        with equal queue depth.
+        """
+        return self.active_minions + self.core_utilization

@@ -1,0 +1,31 @@
+"""NVMe front-end.
+
+Submission/completion queue pairs, the IO + admin command set, and the
+vendor-specific in-storage-computation (ISC) opcodes that carry CompStor
+minions and queries.  The controller executes IO against the FTL and routes
+ISC commands to a pluggable handler (the ISPS agent's transport), so storage
+traffic and computation traffic share the wire but *not* the processing
+resources — the paper's isolation claim.
+"""
+
+from repro.nvme.commands import (
+    IscPayload,
+    NvmeCommand,
+    NvmeCompletion,
+    NvmeError,
+    Opcode,
+    Status,
+)
+from repro.nvme.controller import NvmeController
+from repro.nvme.queues import QueuePair
+
+__all__ = [
+    "IscPayload",
+    "NvmeCommand",
+    "NvmeCompletion",
+    "NvmeController",
+    "NvmeError",
+    "Opcode",
+    "QueuePair",
+    "Status",
+]

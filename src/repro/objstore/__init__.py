@@ -1,0 +1,15 @@
+"""Object-oriented storage layer (extension).
+
+The paper (Section II) discusses Seagate Kinetic drives — object stores
+accessed by key rather than block address — and argues in-situ processing
+is *orthogonal*: "a storage could be either in-situ processing or
+object-oriented or both at the same time".  This package demonstrates the
+"both" case: a key-value object interface layered over the in-storage
+filesystem, plus an in-situ object-scan executable, so clients can GET/PUT
+objects *and* push computation to them.
+"""
+
+from repro.objstore.store import ObjectMeta, ObjectStore, ObjectStoreError
+from repro.objstore.apps import ObjScanApp
+
+__all__ = ["ObjScanApp", "ObjectMeta", "ObjectStore", "ObjectStoreError"]

@@ -1,0 +1,21 @@
+"""PCIe fabric model: links, switch, root complex.
+
+The paper's Fig. 2 topology — one host root complex, a PCIe switch, and N
+CompStor endpoints — is built here.  Bandwidth is modelled per *direction*
+(PCIe is full duplex) with protocol efficiency applied; contention arises
+from the shared uplink between switch and root complex, which is exactly the
+bottleneck the paper's Fig. 1 quantifies (2 GB/s per SSD link vs 16 GB/s of
+host PCIe vs ~545 GB/s of aggregate flash bandwidth at 64 SSDs).
+"""
+
+from repro.pcie.link import PcieGen, PcieLink
+from repro.pcie.switch import PcieFabric, PciePort, PcieSwitch, RootComplex
+
+__all__ = [
+    "PcieFabric",
+    "PcieGen",
+    "PcieLink",
+    "PciePort",
+    "PcieSwitch",
+    "RootComplex",
+]

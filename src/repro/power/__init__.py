@@ -1,0 +1,5 @@
+"""Power and energy accounting."""
+
+from repro.power.meter import EnergyReport, PowerMeter
+
+__all__ = ["EnergyReport", "PowerMeter"]

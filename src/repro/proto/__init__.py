@@ -1,0 +1,20 @@
+"""The CompStor software-stack entities.
+
+The paper defines four virtual entities that travel through the stack
+(Section III.B): **Command**, **Response**, **Minion** (command + response
+envelope that triggers in-situ processing) and **Query** (administrative
+message: dynamic task loading, telemetry).  They are plain data classes;
+the in-situ library serialises them into NVMe vendor commands and the ISPS
+agent consumes them.
+"""
+
+from repro.proto.entities import (
+    Command,
+    Minion,
+    Query,
+    QueryKind,
+    Response,
+    ResponseStatus,
+)
+
+__all__ = ["Command", "Minion", "Query", "QueryKind", "Response", "ResponseStatus"]

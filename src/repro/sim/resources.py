@@ -1,0 +1,281 @@
+"""Shared-resource primitives: :class:`Resource`, :class:`PriorityResource`,
+:class:`Store` and :class:`Container`.
+
+These follow SimPy semantics: ``request()`` / ``get()`` / ``put()`` return
+events that a process yields; releases are immediate.  ``request()`` objects
+are context managers so the common pattern is::
+
+    with bus.request() as req:
+        yield req
+        yield sim.timeout(transfer_time)
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable
+
+from repro.sim.core import Event, Simulator
+
+__all__ = ["Container", "PreemptionError", "PriorityResource", "Resource", "Store"]
+
+
+class PreemptionError(Exception):
+    """Raised inside a process whose resource slot was preempted."""
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "priority", "_key")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.sim, name=f"request({resource.name})")
+        self.resource = resource
+        self.priority = priority
+        self._key = (priority, next(resource._ticket))
+        resource._request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request (no-op if already granted)."""
+        self.resource.release(self)
+
+
+class Resource:
+    """A server pool with ``capacity`` slots and a FIFO wait queue.
+
+    Utilisation statistics are tracked so power/telemetry models can sample
+    busy time without instrumenting every caller.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: deque[Request] | list[Request] = deque()
+        self._ticket = itertools.count()
+        # busy-time integral for utilisation reporting
+        self._busy_integral = 0.0
+        self._last_change = 0.0
+
+    # -- accounting -------------------------------------------------------
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_integral += len(self.users) * (now - self._last_change)
+        self._last_change = now
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def utilization(self) -> float:
+        """Mean fraction of capacity busy since t=0."""
+        now = self.sim.now
+        if now <= 0:
+            return 0.0
+        integral = self._busy_integral + len(self.users) * (now - self._last_change)
+        return integral / (now * self.capacity)
+
+    # -- protocol ----------------------------------------------------------
+    def request(self, priority: int = 0) -> Request:
+        return Request(self, priority)
+
+    def _request(self, req: Request) -> None:
+        if len(self.users) < self.capacity and not self.queue:
+            self._grant(req)
+        else:
+            self._enqueue(req)
+
+    def _enqueue(self, req: Request) -> None:
+        self.queue.append(req)
+
+    def _dequeue(self) -> Request | None:
+        assert isinstance(self.queue, deque)
+        return self.queue.popleft() if self.queue else None
+
+    def _grant(self, req: Request) -> None:
+        self._account()
+        self.users.append(req)
+        req.succeed(self)
+
+    def release(self, req: Request) -> None:
+        """Return a slot (or withdraw a queued request)."""
+        if req in self.users:
+            self._account()
+            self.users.remove(req)
+            nxt = self._dequeue()
+            if nxt is not None:
+                self._grant(nxt)
+        else:
+            try:
+                self.queue.remove(req)
+            except ValueError:
+                pass  # releasing twice, or a request that was never granted
+
+
+class PriorityResource(Resource):
+    """A resource whose wait queue is ordered by ``priority`` (lower first),
+    FIFO within a priority level."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "prio-resource"):
+        super().__init__(sim, capacity, name)
+        self._heap: list[tuple[tuple[int, int], Request]] = []
+
+    def _enqueue(self, req: Request) -> None:
+        heapq.heappush(self._heap, (req._key, req))
+        self.queue = [r for _, r in self._heap]  # keep introspection working
+
+    def _dequeue(self) -> Request | None:
+        while self._heap:
+            _, req = heapq.heappop(self._heap)
+            self.queue = [r for _, r in self._heap]
+            if not req._triggered:  # skip cancelled requests
+                return req
+        return None
+
+    def release(self, req: Request) -> None:
+        if req in self.users:
+            super().release(req)
+        else:
+            self._heap = [(k, r) for (k, r) in self._heap if r is not req]
+            heapq.heapify(self._heap)
+            self.queue = [r for _, r in self._heap]
+
+
+class Store:
+    """An unbounded-or-bounded FIFO buffer of Python objects.
+
+    ``put(item)`` and ``get()`` return events.  ``get(filter=...)`` grabs the
+    first item matching a predicate (used for message demultiplexing).
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"), name: str = "store"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[tuple[Event, Callable[[Any], bool] | None]] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.sim, name=f"put({self.name})")
+        self._putters.append((ev, item))
+        self._settle()
+        return ev
+
+    def get(self, filter: Callable[[Any], bool] | None = None) -> Event:
+        ev = Event(self.sim, name=f"get({self.name})")
+        self._getters.append((ev, filter))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # move queued puts into the buffer while there is room
+            while self._putters and len(self.items) < self.capacity:
+                ev, item = self._putters.popleft()
+                self.items.append(item)
+                ev.succeed()
+                progress = True
+            # satisfy getters from the buffer
+            if self._getters and self.items:
+                remaining: deque[tuple[Event, Callable[[Any], bool] | None]] = deque()
+                while self._getters:
+                    ev, pred = self._getters.popleft()
+                    found = None
+                    for idx, item in enumerate(self.items):
+                        if pred is None or pred(item):
+                            found = idx
+                            break
+                    if found is None:
+                        remaining.append((ev, pred))
+                    else:
+                        item = self.items[found]
+                        del self.items[found]
+                        ev.succeed(item)
+                        progress = True
+                self._getters = remaining
+
+
+class Container:
+    """A homogeneous quantity (bytes of buffer space, joules of budget).
+
+    ``get(n)`` blocks until at least ``n`` units are present; ``put(n)``
+    blocks until there is room below ``capacity``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+        name: str = "container",
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: deque[tuple[Event, float]] = deque()
+        self._putters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        ev = Event(self.sim, name=f"put({self.name})")
+        self._putters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        ev = Event(self.sim, name=f"get({self.name})")
+        self._getters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    ev.succeed()
+                    progress = True
+            if self._getters:
+                ev, amount = self._getters[0]
+                if self._level >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    ev.succeed(amount)
+                    progress = True

@@ -1,0 +1,102 @@
+"""Structured event tracing.
+
+Components emit :class:`TraceRecord` rows into a :class:`Tracer`; experiments
+filter them to validate protocol behaviour (e.g. the Table III minion
+lifetime) and to build timelines without coupling model code to reporters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in seconds.
+    component:
+        Dotted origin, e.g. ``"compstor0.isps.agent"``.
+    kind:
+        Machine-readable event name, e.g. ``"minion.received"``.
+    detail:
+        Free-form payload for assertions and debugging.
+    """
+
+    time: float
+    component: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """An append-only trace log with cheap filtering.
+
+    Tracing is opt-in per component: models hold an optional tracer and call
+    :meth:`emit` unconditionally — a disabled tracer is a no-op, so hot paths
+    pay one attribute test.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: int | None = None):
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: list[TraceRecord] = []
+        self._dropped = 0
+
+    def emit(self, time: float, component: str, kind: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self._dropped += 1
+            return
+        self.records.append(TraceRecord(time, component, kind, detail))
+
+    @property
+    def dropped(self) -> int:
+        """Records discarded because ``capacity`` was reached."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def filter(
+        self,
+        kind: str | None = None,
+        component: str | None = None,
+        predicate: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        """Records matching all given criteria (prefix match on component)."""
+        out = []
+        for rec in self.records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if component is not None and not rec.component.startswith(component):
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def kinds(self) -> list[str]:
+        """Distinct record kinds in first-seen order."""
+        seen: dict[str, None] = {}
+        for rec in self.records:
+            seen.setdefault(rec.kind, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self._dropped = 0
+
+
+#: A shared disabled tracer for components created without one.
+NULL_TRACER = Tracer(enabled=False)

@@ -1,0 +1,17 @@
+"""SSD device assemblies.
+
+- :class:`CompStorSSD` — the paper's device: enterprise SSD controller
+  (flash + ECC + FTL + NVMe front-end) plus the dedicated ISPS and agent;
+- :class:`ConventionalSSD` — the same storage stack without in-situ
+  processing (the off-the-shelf comparison drive of Table IV).
+"""
+
+from repro.ssd.compstor import CompStorSSD, PROTOTYPE_CAPACITY_BYTES, prototype_geometry
+from repro.ssd.conventional import ConventionalSSD
+
+__all__ = [
+    "CompStorSSD",
+    "ConventionalSSD",
+    "PROTOTYPE_CAPACITY_BYTES",
+    "prototype_geometry",
+]

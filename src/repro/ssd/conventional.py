@@ -1,0 +1,84 @@
+"""A conventional (no in-situ processing) NVMe SSD."""
+
+from __future__ import annotations
+
+from repro.analysis.calibration import DEVICE_CONTROLLER_W
+from repro.ecc import EccConfig, EccEngine
+from repro.flash import FlashArray, FlashGeometry
+from repro.ftl import FlashTranslationLayer, FtlConfig
+from repro.nvme import NvmeController
+from repro.pcie.switch import PciePort
+from repro.power import PowerMeter
+from repro.sim import Simulator, Tracer
+
+__all__ = ["ConventionalSSD", "small_geometry"]
+
+
+def small_geometry(capacity_bytes: int = 64 * 1024 * 1024, channels: int = 8) -> FlashGeometry:
+    """A simulation-friendly geometry with realistic parallelism."""
+    base = FlashGeometry(
+        channels=channels,
+        dies_per_channel=2,
+        planes_per_die=2,
+        blocks_per_plane=8,
+        pages_per_block=16,
+        page_size=16384,
+    )
+    return base.scaled(capacity_bytes)
+
+
+class ConventionalSSD:
+    """Storage-only NVMe drive: flash + ECC + FTL + front-end."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "ssd",
+        geometry: FlashGeometry | None = None,
+        port: PciePort | None = None,
+        meter: PowerMeter | None = None,
+        store_data: bool = True,
+        ftl_config: FtlConfig | None = None,
+        ecc_config: EccConfig | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.meter = meter
+        sink = meter.sink if meter is not None else None
+        self.flash = FlashArray(
+            sim,
+            geometry=geometry or small_geometry(),
+            name=f"{name}.flash",
+            energy_sink=sink,
+            store_data=store_data,
+            tracer=tracer,
+        )
+        self.ecc = EccEngine(sim, ecc_config, name=f"{name}.ecc", energy_sink=sink)
+        self.ftl = FlashTranslationLayer(
+            sim, self.flash, self.ecc, config=ftl_config, name=f"{name}.ftl", tracer=tracer
+        )
+        self.controller = NvmeController(
+            sim, self.ftl, port=port, name=f"{name}.nvme", tracer=tracer
+        )
+        if meter is not None:
+            meter.register_static(f"{name}.controller.static", DEVICE_CONTROLLER_W)
+            meter.register_static(
+                f"{name}.flash.static",
+                self.flash.energy.idle_power(self.flash.geometry.dies),
+            )
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.ftl.logical_capacity_bytes
+
+    def queue(self, index: int = 0):
+        return self.controller.queue(index)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "capacity_bytes": self.capacity_bytes,
+            "channels": self.flash.geometry.channels,
+            "isc": False,
+        }

@@ -1,0 +1,19 @@
+"""Workload generation: the synthetic book corpus, staging helpers, and
+logical-IO access-pattern generators."""
+
+from repro.workloads.corpus import BookCorpus, BookFile, CorpusSpec, partition_round_robin
+from repro.workloads.io_patterns import hot_cold, sequential, uniform, zipfian
+from repro.workloads.tables import CsvTable, TableSpec
+
+__all__ = [
+    "BookCorpus",
+    "BookFile",
+    "CorpusSpec",
+    "CsvTable",
+    "hot_cold",
+    "partition_round_robin",
+    "sequential",
+    "TableSpec",
+    "uniform",
+    "zipfian",
+]

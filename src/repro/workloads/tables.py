@@ -1,0 +1,79 @@
+"""Synthetic CSV tables for query-pushdown workloads.
+
+Generates deterministic comma-separated tables with numeric columns, plus a
+ground-truth evaluator so tests can assert the in-situ ``selectq`` results
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CsvTable", "TableSpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class TableSpec:
+    """Shape of a generated table."""
+
+    rows: int = 1000
+    columns: int = 4
+    value_range: tuple[float, float] = (0.0, 1000.0)
+    integer: bool = False
+    seed: int = 77
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.columns < 1:
+            raise ValueError("rows and columns must be >= 1")
+        lo, hi = self.value_range
+        if hi <= lo:
+            raise ValueError("value_range must be increasing")
+
+
+class CsvTable:
+    """A generated table: bytes for staging + array for ground truth."""
+
+    def __init__(self, spec: TableSpec | None = None):
+        self.spec = spec or TableSpec()
+        rng = np.random.default_rng(self.spec.seed)
+        lo, hi = self.spec.value_range
+        values = rng.uniform(lo, hi, size=(self.spec.rows, self.spec.columns))
+        if self.spec.integer:
+            values = np.floor(values)
+        self.values = values
+
+    def to_csv_bytes(self) -> bytes:
+        """Render the table (no header; selectq addresses columns by index)."""
+        fmt = "%.0f" if self.spec.integer else "%.4f"
+        lines = [
+            ",".join(fmt % v for v in row).encode() for row in self.values
+        ]
+        return b"\n".join(lines) + b"\n"
+
+    # -- ground truth ----------------------------------------------------------
+    def expected_selection(
+        self, where_col: int, op: str, value: float, agg_col: int
+    ) -> dict:
+        """What selectq must report for this table."""
+        import operator
+
+        ops = {
+            "eq": operator.eq, "ne": operator.ne, "lt": operator.lt,
+            "le": operator.le, "gt": operator.gt, "ge": operator.ge,
+        }
+        column = self.parsed_column(where_col)
+        mask = ops[op](column, value)
+        agg = self.parsed_column(agg_col)[mask]
+        return {
+            "count": int(mask.sum()),
+            "sum": float(agg.sum()) if mask.any() else 0.0,
+            "min": float(agg.min()) if mask.any() else None,
+            "max": float(agg.max()) if mask.any() else None,
+        }
+
+    def parsed_column(self, index: int) -> np.ndarray:
+        """The column exactly as selectq parses it (post-formatting)."""
+        fmt = "%.0f" if self.spec.integer else "%.4f"
+        return np.array([float(fmt % v) for v in self.values[:, index]])

@@ -1,0 +1,16 @@
+"""Shared test configuration.
+
+Hypothesis runs derandomized so the whole suite — including the
+property-based tests — is reproducible run to run, matching the simulator's
+own determinism guarantees.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

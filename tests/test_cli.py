@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "CompStor" in out
+    assert "Biscuit" in out
+
+
+def test_fig1_command(capsys):
+    assert main(["fig1", "--devices", "1", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "mismatch" in out
+    assert "545.8" in out  # 64-SSD aggregate media GB/s
+
+
+def test_fig6_command_small(capsys):
+    assert main(["fig6", "--app", "grep", "--devices", "1", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "grep throughput" in out
+    assert "r^2=" in out
+
+
+def test_quickstart_command(capsys):
+    assert main(["quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "in-situ grep matched 100 lines" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["definitely-not-a-command"])
+
+
+def test_parser_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig6", "--app", "fortnite"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_smart_command(capsys):
+    assert main(["smart", "--files", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "SMART" in out
+    assert "write_amplification" in out
+    assert "latency.ISC_MINION" in out
+
+
+def test_fleet_command(capsys):
+    assert main(["fleet", "--nodes", "1", "2", "--books-per-node", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet weak scaling" in out
+    assert "aggregate MB/s" in out
+
+
+def test_validate_quick_scorecard(capsys):
+    assert main(["validate", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "reproduction scorecard" in out
+    assert "5/5 claims reproduced" in out
+    assert "FAIL" not in out
+
+
+def test_fig7_command(capsys):
+    assert main(["fig7", "--devices", "1", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "aggregate" in out
+
+
+def test_fig8_command_single_app(capsys):
+    assert main(["fig8", "--apps", "grep"]) == 0
+    out = capsys.readouterr().out
+    assert "grep" in out and "paper ratio" in out

@@ -1,0 +1,74 @@
+"""Tests for minion placement policies and the dispatcher."""
+
+from repro.cluster import (
+    LeastLoadedBalancer,
+    MinionDispatcher,
+    RoundRobinBalancer,
+    StorageNode,
+)
+from repro.proto import Command
+
+
+def build_node(devices=3):
+    return StorageNode.build(devices=devices, device_capacity=16 * 1024 * 1024)
+
+
+def stage_everywhere(node, name, data):
+    def flow():
+        for ssd in node.compstors:
+            yield from ssd.fs.write_file(name, data)
+
+    node.sim.run(node.sim.process(flow()))
+
+
+def test_round_robin_spreads_evenly():
+    node = build_node(devices=3)
+    stage_everywhere(node, "f.txt", b"fox\n" * 20)
+    dispatcher = MinionDispatcher(node.client, RoundRobinBalancer())
+
+    def flow():
+        commands = [Command(command_line="grep fox f.txt") for _ in range(9)]
+        return (yield from dispatcher.submit_all(commands))
+
+    responses = node.sim.run(node.sim.process(flow()))
+    assert all(r.ok for r in responses)
+    assert dispatcher.device_share() == {"compstor0": 3, "compstor1": 3, "compstor2": 3}
+
+
+def test_least_loaded_avoids_busy_device():
+    node = build_node(devices=2)
+    stage_everywhere(node, "f.txt", b"fox\n" * 20)
+    # occupy compstor0 with a long-running scan
+    stage_everywhere(node, "big.txt", b"fox filler line\n" * 20000)
+
+    def flow():
+        hog = node.sim.process(node.client.run("compstor0", "grep fox big.txt"))
+        yield node.sim.timeout(2e-3)  # let the hog start
+        balancer = LeastLoadedBalancer()
+        dispatcher = MinionDispatcher(node.client, balancer)
+        responses = yield from dispatcher.submit_all(
+            [Command(command_line="grep fox f.txt") for _ in range(4)]
+        )
+        yield hog
+        return responses, dispatcher.device_share()
+
+    responses, share = node.sim.run(node.sim.process(flow()))
+    assert all(r.ok for r in responses)
+    # the idle device should receive the bulk of the work
+    assert share.get("compstor1", 0) >= 3
+
+
+def test_dispatcher_records_placements():
+    node = build_node(devices=2)
+    stage_everywhere(node, "f.txt", b"fox\n")
+    dispatcher = MinionDispatcher(node.client, RoundRobinBalancer())
+
+    def flow():
+        return (
+            yield from dispatcher.submit_all([Command(command_line="grep fox f.txt")] * 2)
+        )
+
+    node.sim.run(node.sim.process(flow()))
+    assert len(dispatcher.placements) == 2
+    devices = [d for d, _ in dispatcher.placements]
+    assert set(devices) == {"compstor0", "compstor1"}

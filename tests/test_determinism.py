@@ -1,0 +1,67 @@
+"""Reproducibility: identical seeds give bit-identical runs.
+
+For a simulator this is a headline feature — every number in
+EXPERIMENTS.md must be reproducible from ``(seed, model, workload)``.
+"""
+
+from repro.cluster import StorageNode
+from repro.proto import Command
+from repro.workloads import BookCorpus, CorpusSpec
+
+
+def run_once(seed):
+    books = BookCorpus(CorpusSpec(files=4, mean_file_bytes=32 * 1024)).generate()
+    node = StorageNode.build(devices=2, seed=seed, device_capacity=24 * 1024 * 1024)
+    sim = node.sim
+    sim.run(sim.process(node.stage_corpus(books, compressed=False)))
+    assignments = [
+        (device, Command(command_line=f"grep xylophone {book.name}"))
+        for device, part in node.device_books(books).items()
+        for book in part
+    ]
+    mark = node.meter.snapshot()
+
+    def job():
+        return (yield from node.client.gather(assignments))
+
+    responses = sim.run(sim.process(job()))
+    report = node.meter.window(mark)
+    return {
+        "finished_at": sim.now,
+        "stdout": tuple(r.stdout for r in responses),
+        "exec_seconds": tuple(r.execution_seconds for r in responses),
+        "energy": report.total_j,
+        "flash_ops": (
+            node.compstors[0].flash.stats.reads,
+            node.compstors[0].flash.stats.programs,
+        ),
+    }
+
+
+def test_same_seed_bit_identical():
+    a = run_once(seed=42)
+    b = run_once(seed=42)
+    assert a == b
+
+
+def test_different_seed_keeps_functional_results():
+    """Different seeds change the random streams (BER draws), but never the
+    functional results.  Note the *timing* may coincide: at the default
+    raw BER (~1e-6) a short run frequently draws zero bit errors under any
+    seed, so identical finish times across seeds are legitimate."""
+    a = run_once(seed=1)
+    b = run_once(seed=2)
+    assert a["stdout"] == b["stdout"]  # correctness is seed-independent
+    assert a["flash_ops"] == b["flash_ops"]  # op counts too
+
+    from repro.sim import Simulator
+
+    # the underlying streams really do differ per seed
+    assert Simulator(seed=1).rng("flash").random() != Simulator(seed=2).rng("flash").random()
+
+
+def test_corpus_generation_independent_of_simulator():
+    """The corpus derives from its own spec seed, not the simulator seed."""
+    a = BookCorpus(CorpusSpec(files=2, seed=7)).generate()
+    b = BookCorpus(CorpusSpec(files=2, seed=7)).generate()
+    assert [x.plain for x in a] == [y.plain for y in b]

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are user-facing documentation; a broken example is a broken
+promise.  Each is executed in-process (fast) with stdout captured.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_has_enough_examples():
+    assert len(EXAMPLES) >= 5, EXAMPLES
+    assert "quickstart" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"
+
+
+def test_quickstart_output_contents(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "grep matched 400 lines" in out
+    assert "device status" in out

@@ -1,0 +1,227 @@
+"""Failure injection: the FTL must degrade gracefully, never deadlock.
+
+Covers grown bad blocks (erase failures), uncorrectable reads during GC
+relocation, and destage failures — the three ways media trouble reaches the
+translation layer.
+"""
+
+import pytest
+
+from repro.ecc import CodewordLayout, EccConfig, EccEngine
+from repro.flash import BitErrorModel, EraseFailure, FlashArray, FlashGeometry
+from repro.ftl import FlashTranslationLayer, FtlConfig
+from repro.sim import Simulator
+
+GEO = FlashGeometry(
+    channels=2, dies_per_channel=1, planes_per_die=1, blocks_per_plane=8, pages_per_block=4,
+    page_size=512,
+)
+
+
+def make_ftl(rber0=1e-9, **cfg):
+    sim = Simulator(seed=9)
+    flash = FlashArray(sim, geometry=GEO, error_model=BitErrorModel(rber0=rber0))
+    ecc = EccEngine(sim, EccConfig(layout=CodewordLayout(data_bytes=512)))
+    defaults = dict(op_ratio=0.3, write_buffer_pages=4,
+                    gc_low_watermark=1, gc_high_watermark=2)
+    defaults.update(cfg)
+    ftl = FlashTranslationLayer(sim, flash, ecc, config=FtlConfig(**defaults))
+    return sim, ftl
+
+
+def drive(sim, gen):
+    return sim.run(sim.process(gen))
+
+
+def churn(ftl, lpns, rounds):
+    def flow():
+        for r in range(rounds):
+            for lpn in lpns:
+                yield from ftl.write(lpn, f"r{r}p{lpn}".encode())
+        yield from ftl.flush()
+
+    return flow()
+
+
+def test_erase_failure_retires_block_and_device_continues():
+    sim, ftl = make_ftl()
+    # doom a mid-array block: the first GC erase of it will fail
+    victim = 3
+    ftl.flash.mark_block_failed(victim)
+    lpns = list(range(10))
+    drive(sim, churn(ftl, lpns, rounds=10))
+    # the device survived the churn; if GC touched the bad block it retired it
+    if ftl.gc.blocks_retired:
+        assert victim in ftl.allocator.retired
+        assert victim not in set().union(*ftl.allocator.free)
+    ftl.page_map.check_invariants()
+
+    def readback():
+        out = []
+        for lpn in lpns:
+            out.append((yield from ftl.read(lpn)))
+        return out
+
+    assert drive(sim, readback()) == [f"r9p{lpn}".encode() for lpn in lpns]
+
+
+def test_many_bad_blocks_still_functional():
+    sim, ftl = make_ftl()
+    for block in (2, 5, 9, 12):
+        ftl.flash.mark_block_failed(block)
+    lpns = list(range(12))
+    drive(sim, churn(ftl, lpns, rounds=12))
+    ftl.page_map.check_invariants()
+    # retired blocks never re-enter the free pool
+    free_all = set().union(*ftl.allocator.free)
+    assert not (ftl.allocator.retired & free_all)
+
+
+def test_erase_failure_direct():
+    sim, ftl = make_ftl()
+    ftl.flash.mark_block_failed(0)
+
+    def flow():
+        # fill block 0 by writing through die 0's frontier
+        for lpn in range(4):
+            yield from ftl.write(lpn, b"x")
+        yield from ftl.flush()
+        yield from ftl.flash.erase_block(GEO.block_address(0))
+
+    with pytest.raises(EraseFailure):
+        drive(sim, flow())
+
+
+def test_uncorrectable_gc_relocation_drops_only_that_page():
+    """A rotten page hit during GC loses that page's data (recorded) but the
+    collector finishes the block and the device stays writable."""
+    sim, ftl = make_ftl()
+    lpns = list(range(10))
+    drive(sim, churn(ftl, lpns, rounds=2))
+
+    # pick a closed block that still holds valid data and collect it with a
+    # hopeless error model: every relocation read is uncorrectable
+    victims = [
+        b for b in ftl.allocator.closed_blocks()
+        if ftl.page_map.valid_pages_in_block(b) > 0
+    ]
+    assert victims, "churn should leave mixed-validity closed blocks"
+    valid_pages = ftl.page_map.valid_pages_in_block(victims[0])
+    ftl.flash.error_model = BitErrorModel(rber0=0.4)
+    drive(sim, ftl.gc._collect(victims[0]))
+    assert ftl.gc.relocation_failures == valid_pages  # all drops recorded
+    assert ftl.page_map.valid_pages_in_block(victims[0]) == 0
+    ftl.page_map.check_invariants()
+
+    # the device remains writable afterwards
+    ftl.flash.error_model = BitErrorModel(rber0=1e-9)
+    drive(sim, churn(ftl, lpns, rounds=1))
+
+
+def test_destage_failure_recorded_not_fatal():
+    """A destage that dies with a LogicalIOError is recorded; the flusher
+    keeps draining everything else."""
+    sim, ftl = make_ftl()
+    from repro.ftl.ftl import LogicalIOError
+
+    original = ftl._destage
+    bombed = []
+
+    def sabotaged(lpn, data):
+        if lpn == 5 and not bombed:
+            bombed.append(lpn)
+            yield sim.timeout(1e-6)
+            raise LogicalIOError("injected destage failure")
+        yield from original(lpn, data)
+
+    ftl.write_buffer.destage = sabotaged
+
+    def flow():
+        for lpn in range(8):
+            yield from ftl.write(lpn, f"p{lpn}".encode())
+        yield from ftl.flush()
+        out = []
+        for lpn in range(8):
+            out.append((yield from ftl.read(lpn)))
+        return out
+
+    data = drive(sim, flow())
+    assert len(ftl.write_buffer.failures) == 1
+    assert ftl.write_buffer.failures[0][0] == 5
+    # every page except the sabotaged one landed
+    for lpn, value in enumerate(data):
+        if lpn == 5:
+            assert value is None
+        else:
+            assert value == f"p{lpn}".encode()
+
+
+def test_model_bugs_still_propagate_from_flusher():
+    """Non-media exceptions must crash loudly, not be swallowed."""
+    sim, ftl = make_ftl()
+
+    def broken(lpn, data):
+        yield sim.timeout(1e-6)
+        raise RuntimeError("model bug")
+
+    ftl.write_buffer.destage = broken
+
+    def flow():
+        yield from ftl.write(0, b"x")
+        yield from ftl.flush()
+
+    with pytest.raises(RuntimeError, match="model bug"):
+        drive(sim, flow())
+
+
+def test_mark_block_failed_validation():
+    sim, ftl = make_ftl()
+    with pytest.raises(ValueError):
+        ftl.flash.mark_block_failed(10**9)
+
+
+def test_retire_block_validation():
+    sim, ftl = make_ftl()
+    free_block = next(iter(ftl.allocator.free[0]))
+    with pytest.raises(ValueError, match="free block"):
+        ftl.allocator.retire_block(free_block)
+
+
+# -- property-based: correctness under injected media failures ---------------------
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    bad_blocks=st.sets(st.integers(0, GEO.blocks - 1), max_size=3),
+    ops=st.lists(
+        st.tuples(st.integers(0, 12), st.binary(min_size=1, max_size=8)),
+        min_size=5, max_size=40,
+    ),
+)
+def test_churn_with_grown_bad_blocks_matches_oracle(bad_blocks, ops):
+    """Random writes with up to three blocks failing their next erase:
+    every surviving logical page reads back its last written value."""
+    sim, ftl = make_ftl()
+    for block in bad_blocks:
+        ftl.flash.mark_block_failed(block)
+    oracle = {}
+
+    def driver():
+        for lpn, payload in ops:
+            yield from ftl.write(lpn, payload)
+            oracle[lpn] = payload
+        yield from ftl.flush()
+        out = {}
+        for lpn in oracle:
+            out[lpn] = yield from ftl.read(lpn)
+        return out
+
+    out = drive(sim, driver())
+    assert out == oracle
+    ftl.page_map.check_invariants()
+    # retired blocks, if any, never re-enter the free pool
+    free_all = set().union(*ftl.allocator.free)
+    assert not (ftl.allocator.retired & free_all)

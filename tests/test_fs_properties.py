@@ -1,0 +1,155 @@
+"""Property-based tests: the extent filesystem against a dict oracle."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import CodewordLayout, EccConfig, EccEngine
+from repro.flash import BitErrorModel, FlashArray, FlashGeometry
+from repro.ftl import FlashTranslationLayer, FtlConfig
+from repro.isos import ExtentFileSystem, FlashAccessDevice, FsError
+from repro.sim import Simulator
+
+GEO = FlashGeometry(
+    channels=2, dies_per_channel=1, planes_per_die=1, blocks_per_plane=10,
+    pages_per_block=8, page_size=512,
+)
+
+NAMES = ("alpha", "beta", "gamma", "delta")
+
+
+def make_fs():
+    sim = Simulator(seed=2)
+    flash = FlashArray(sim, geometry=GEO, error_model=BitErrorModel(rber0=1e-9))
+    ecc = EccEngine(sim, EccConfig(layout=CodewordLayout(data_bytes=512)))
+    ftl = FlashTranslationLayer(sim, flash, ecc, config=FtlConfig(op_ratio=0.25))
+    return sim, ExtentFileSystem(sim, FlashAccessDevice(sim, ftl))
+
+
+fs_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.sampled_from(NAMES), st.binary(max_size=1400)),
+        st.tuples(st.just("append"), st.sampled_from(NAMES), st.binary(min_size=1, max_size=600)),
+        st.tuples(st.just("delete"), st.sampled_from(NAMES), st.just(b"")),
+        st.tuples(st.just("read"), st.sampled_from(NAMES), st.just(b"")),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=fs_ops)
+def test_filesystem_agrees_with_dict_oracle(ops):
+    sim, fs = make_fs()
+    oracle: dict[str, bytes] = {}
+    problems: list[tuple] = []
+
+    def driver():
+        for op, name, payload in ops:
+            if op == "write":
+                yield from fs.write_file(name, payload)
+                oracle[name] = payload
+            elif op == "append":
+                if name in oracle:
+                    # appends are page-aligned (documented simplification):
+                    # the oracle pads the existing tail to a page boundary
+                    page = fs.page_size
+                    existing = oracle[name]
+                    pad = (-len(existing)) % page if existing else 0
+                    yield from fs.append(name, payload)
+                    oracle[name] = existing + b"\0" * pad + payload
+                else:
+                    yield from fs.append(name, payload)
+                    oracle[name] = payload
+            elif op == "delete":
+                if name in oracle:
+                    yield from fs.delete(name)
+                    oracle.pop(name)
+                else:
+                    try:
+                        yield from fs.delete(name)
+                        problems.append(("delete-missing-succeeded", name))
+                    except FsError:
+                        pass
+            else:  # read
+                if name in oracle:
+                    data = yield from fs.read_file(name)
+                    # reads may legitimately return extra page padding only
+                    # if our oracle mis-modelled; require exact agreement on
+                    # the logical size prefix
+                    if data != oracle[name][: len(data)] or len(data) != len(oracle[name]):
+                        problems.append(("read-mismatch", name, data, oracle[name]))
+                else:
+                    try:
+                        yield from fs.read_file(name)
+                        problems.append(("read-missing-succeeded", name))
+                    except FsError:
+                        pass
+        # final sweep
+        if set(fs.listdir()) != set(oracle):
+            problems.append(("listing-mismatch", fs.listdir(), sorted(oracle)))
+        for name, expected in oracle.items():
+            data = yield from fs.read_file(name)
+            if data != expected:
+                problems.append(("final-mismatch", name))
+
+    sim.run(sim.process(driver()))
+    assert problems == []
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=fs_ops)
+def test_free_page_accounting_never_leaks(ops):
+    """free + allocated is invariant across any operation sequence."""
+    sim, fs = make_fs()
+    total_free = fs.free_pages
+
+    def driver():
+        for op, name, payload in ops:
+            try:
+                if op == "write":
+                    yield from fs.write_file(name, payload)
+                elif op == "append":
+                    yield from fs.append(name, payload)
+                elif op == "delete":
+                    yield from fs.delete(name)
+                else:
+                    yield from fs.read_file(name)
+            except FsError:
+                pass
+
+    sim.run(sim.process(driver()))
+    allocated = sum(len(inode.pages) for inode in fs.files.values())
+    assert fs.free_pages + allocated == total_free
+    # no page is referenced twice
+    all_pages = [lpn for inode in fs.files.values() for lpn in inode.pages]
+    assert len(all_pages) == len(set(all_pages))
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    files=st.dictionaries(
+        st.sampled_from(NAMES), st.binary(min_size=1, max_size=800), min_size=1
+    )
+)
+def test_persist_load_roundtrip_property(files):
+    """Any file set survives persist + reboot + load byte-for-byte."""
+    sim, fs = make_fs()
+
+    def driver():
+        for name, data in files.items():
+            yield from fs.write_file(name, data)
+        yield from fs.persist()
+
+    sim.run(sim.process(driver()))
+    reborn = ExtentFileSystem(sim, fs.device)
+    sim.run(sim.process(reborn.load()))
+    assert set(reborn.listdir()) == set(files)
+
+    def verify():
+        out = {}
+        for name in files:
+            out[name] = yield from reborn.read_file(name)
+        return out
+
+    assert sim.run(sim.process(verify())) == files

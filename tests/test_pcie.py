@@ -1,0 +1,136 @@
+"""Unit tests for the PCIe fabric model."""
+
+import pytest
+
+from repro.pcie import PcieFabric, PcieGen, PcieLink
+from repro.pcie.link import Direction, LinkParams
+from repro.sim import Simulator
+
+
+def run(sim, gen):
+    return sim.run(sim.process(gen))
+
+
+def test_link_bandwidth_math():
+    params = LinkParams(gen=PcieGen.GEN3, lanes=16, efficiency=0.87)
+    assert params.bandwidth == pytest.approx(985e6 * 16 * 0.87)
+
+
+def test_transfer_time_matches_bandwidth():
+    sim = Simulator()
+    link = PcieLink(sim, LinkParams(lanes=4, latency=1e-6))
+    nbytes = 1_000_000
+
+    def flow():
+        return (yield from link.transfer(nbytes, Direction.RX))
+
+    elapsed = run(sim, flow())
+    assert elapsed == pytest.approx(1e-6 + nbytes / link.bandwidth)
+    assert link.bytes_moved[Direction.RX] == nbytes
+
+
+def test_directions_are_independent():
+    """TX and RX can proceed simultaneously (full duplex)."""
+    sim = Simulator()
+    link = PcieLink(sim, LinkParams(lanes=4, latency=0.0))
+    nbytes = 4_000_000
+    one_way = nbytes / link.bandwidth
+
+    sim.process(link.transfer(nbytes, Direction.TX))
+    sim.process(link.transfer(nbytes, Direction.RX))
+    sim.run()
+    assert sim.now == pytest.approx(one_way)  # not 2x
+
+
+def test_same_direction_serializes():
+    sim = Simulator()
+    link = PcieLink(sim, LinkParams(lanes=4, latency=0.0))
+    nbytes = 4_000_000
+    one_way = nbytes / link.bandwidth
+
+    sim.process(link.transfer(nbytes, Direction.TX))
+    sim.process(link.transfer(nbytes, Direction.TX))
+    sim.run()
+    assert sim.now == pytest.approx(2 * one_way)
+
+
+def test_negative_transfer_rejected():
+    sim = Simulator()
+    link = PcieLink(sim)
+
+    def flow():
+        yield from link.transfer(-1, Direction.TX)
+
+    with pytest.raises(ValueError):
+        run(sim, flow())
+
+
+def test_link_params_validation():
+    with pytest.raises(ValueError):
+        LinkParams(lanes=0)
+    with pytest.raises(ValueError):
+        LinkParams(efficiency=0.0)
+    with pytest.raises(ValueError):
+        LinkParams(latency=-1.0)
+
+
+def test_energy_sink_charged_per_byte():
+    sim = Simulator()
+    charged = []
+    link = PcieLink(sim, LinkParams(lanes=4), energy_sink=lambda n, j: charged.append(j))
+
+    def flow():
+        yield from link.transfer(1000, Direction.TX)
+
+    run(sim, flow())
+    assert charged == [pytest.approx(1000 * link.params.energy_per_byte)]
+
+
+def test_fabric_topology_counts():
+    sim = Simulator()
+    fabric = PcieFabric(sim, endpoints=8)
+    assert len(fabric) == 8
+    assert len(fabric.switch.downlinks) == 8
+
+
+def test_fabric_port_bandwidth_capped_by_downlink():
+    sim = Simulator()
+    fabric = PcieFabric(sim, endpoints=4, uplink_lanes=16, endpoint_lanes=4)
+    port = fabric.ports[0]
+    assert port.bandwidth == pytest.approx(port.downlink.bandwidth)
+    assert port.bandwidth < fabric.uplink.bandwidth
+
+
+def test_fabric_uplink_is_shared_bottleneck():
+    """Four endpoints pushing simultaneously are limited by the uplink."""
+    sim = Simulator()
+    fabric = PcieFabric(sim, endpoints=4, uplink_lanes=4, endpoint_lanes=4)
+    nbytes = 2_000_000
+
+    for port in fabric.ports:
+        sim.process(port.to_host(nbytes))
+    sim.run()
+    # all traffic funnels through one x4 uplink: ~4x one transfer time
+    floor = 4 * nbytes / fabric.uplink.bandwidth
+    assert sim.now >= floor * 0.99
+
+
+def test_mismatch_factor_reproduces_fig1_scale():
+    """Paper Fig. 1: 64 SSDs x ~8.5 GB/s media vs 16 GB/s host PCIe -> ~30-80x."""
+    sim = Simulator()
+    fabric = PcieFabric(sim, endpoints=64, uplink_lanes=16, endpoint_lanes=4)
+    media_bw = 16 * 533e6  # per-SSD flash aggregate
+    factor = fabric.mismatch_factor(media_bw)
+    assert factor > 30
+
+
+def test_mismatch_factor_validation():
+    sim = Simulator()
+    fabric = PcieFabric(sim, endpoints=2)
+    with pytest.raises(ValueError):
+        fabric.mismatch_factor(0)
+
+
+def test_fabric_requires_endpoints():
+    with pytest.raises(ValueError):
+        PcieFabric(Simulator(), endpoints=0)
