@@ -12,6 +12,7 @@ Run:  python examples/fleet_operations.py
 
 from repro.analysis.experiments import format_series_table
 from repro.cluster import StorageFleet
+from repro.obs import HealthAggregator
 from repro.proto import Command
 from repro.workloads import BookCorpus, CorpusSpec
 
@@ -22,6 +23,8 @@ def main() -> None:
     sim = fleet.sim
     books = BookCorpus(CorpusSpec(files=12, mean_file_bytes=64 * 1024)).generate()
     sim.run(sim.process(fleet.stage_corpus(books)))
+
+    aggregator = HealthAggregator()
 
     def workload():
         # mixed job: compress odd shards, scan even shards
@@ -35,6 +38,7 @@ def main() -> None:
         ok = sum(1 for r in responses if r.exit_code in (0, 1))
         print(f"job: {len(responses)} minions over {fleet.total_devices} devices "
               f"in {wall * 1e3:.1f} ms simulated ({ok} completed)\n")
+        aggregator.observe_minion_latencies(r.execution_seconds for r in responses)
 
         # telemetry sweep (the query path)
         snaps = yield from fleet.telemetry()
@@ -70,6 +74,16 @@ def main() -> None:
         rows,
     ))
     print(f"\ntotal minions served: {fleet.total_minions_served()}")
+
+    # fleet health rollup: telemetry + SMART + minion latencies in one report
+    def rollup():
+        health = yield from fleet.health(aggregator)
+        return health
+
+    health = sim.run(sim.process(rollup()))
+    print("\n" + format_series_table(
+        "fleet health (HealthAggregator)", ["attribute", "value"], health.rows()
+    ))
 
 
 if __name__ == "__main__":

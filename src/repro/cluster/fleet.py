@@ -13,8 +13,10 @@ from __future__ import annotations
 from typing import Callable, Generator, Sequence
 
 from repro.cluster.node import StorageNode
+from repro.obs.health import FleetHealth, HealthAggregator
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.proto.entities import Command, Response
-from repro.sim import Simulator
+from repro.sim import Simulator, Tracer
 from repro.workloads import BookFile, partition_round_robin
 
 __all__ = ["StorageFleet"]
@@ -23,11 +25,20 @@ __all__ = ["StorageFleet"]
 class StorageFleet:
     """A rack/row of storage nodes under one job coordinator."""
 
-    def __init__(self, sim: Simulator, nodes: list[StorageNode]):
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: list[StorageNode],
+        metrics: MetricsRegistry | None = None,
+    ):
         if not nodes:
             raise ValueError("a fleet needs at least one node")
         self.sim = sim
         self.nodes = nodes
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_node_load = self.metrics.gauge(
+            "cluster.node.active_minions", "in-flight minions per node, sampled per job"
+        )
 
     @classmethod
     def build(
@@ -37,20 +48,26 @@ class StorageFleet:
         seed: int = 0,
         device_capacity: int = 32 * 1024 * 1024,
         store_data: bool = True,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> "StorageFleet":
         if nodes < 1:
             raise ValueError("nodes must be >= 1")
         sim = Simulator(seed=seed)
+        if metrics is not None and metrics.clock is None:
+            metrics.bind_clock(lambda: sim.now)
         built = [
             StorageNode.build(
                 devices=devices_per_node,
                 sim=sim,
                 device_capacity=device_capacity,
                 store_data=store_data,
+                metrics=metrics,
+                tracer=tracer,
             )
             for _ in range(nodes)
         ]
-        return cls(sim, built)
+        return cls(sim, built, metrics=metrics)
 
     # -- topology -----------------------------------------------------------
     @property
@@ -106,6 +123,9 @@ class StorageFleet:
             per_node_assignments[node_index].extend(
                 (device, command_for(book)) for book in dev_books
             )
+        if self.metrics.enabled:
+            for node_index, assignments in enumerate(per_node_assignments):
+                self._m_node_load.set(len(assignments), node=node_index)
         procs = [
             self.sim.process(node.client.gather(assignments))
             for node, assignments in zip(self.nodes, per_node_assignments)
@@ -124,6 +144,32 @@ class StorageFleet:
             for device, snap in results[proc].items():
                 merged[(node_index, device)] = snap
         return merged
+
+    def health(self, aggregator: HealthAggregator | None = None) -> Generator:
+        """Poll every device and roll the fleet up into one report.
+
+        Telemetry queries travel the ISC wire concurrently (they cost
+        simulated time like any admin command); SMART pages are read
+        straight off each controller.  When the fleet was built with an
+        enabled metrics registry, minion-latency percentiles come from the
+        client round-trip histogram — callers without metrics can feed
+        latencies into their own :class:`HealthAggregator` first.
+
+        Returns the :class:`FleetHealth` summary.
+        """
+        aggregator = aggregator if aggregator is not None else HealthAggregator()
+        snapshots = yield from self.telemetry()
+        for (node_index, device), snap in sorted(snapshots.items()):
+            node = self.nodes[node_index]
+            ssd = next(s for s in node.compstors if s.name == device)
+            aggregator.observe_device(
+                node_index, device, snap, smart=ssd.controller.smart_log()
+            )
+        if self.metrics.enabled and "client.minion.round_trip_seconds" in self.metrics:
+            aggregator.observe_latency_histogram(
+                self.metrics["client.minion.round_trip_seconds"]
+            )
+        return aggregator.summary()
 
     def total_minions_served(self) -> int:
         return sum(ssd.agent.minions_served for node in self.nodes for ssd in node.compstors)

@@ -17,6 +17,7 @@ from repro.flash import FlashGeometry
 from repro.ftl import FtlConfig
 from repro.host import HostServer, InSituClient
 from repro.isos.loader import ExecutableRegistry
+from repro.obs.metrics import MetricsRegistry
 from repro.pcie import PcieFabric
 from repro.power import PowerMeter
 from repro.sim import Simulator, Tracer
@@ -64,11 +65,14 @@ class StorageNode:
         tracer: Tracer | None = None,
         uplink_lanes: int = 16,
         endpoint_lanes: int = 4,
+        metrics: MetricsRegistry | None = None,
     ) -> "StorageNode":
         if devices < 1:
             raise ValueError("need at least one CompStor")
         sim = sim or Simulator(seed=seed)
-        meter = PowerMeter(sim)
+        if metrics is not None and metrics.clock is None:
+            metrics.bind_clock(lambda: sim.now)
+        meter = PowerMeter(sim, metrics=metrics)
         endpoints = devices + (1 if with_baseline_ssd else 0)
         fabric = PcieFabric(
             sim,
@@ -90,6 +94,7 @@ class StorageNode:
                 store_data=store_data,
                 ftl_config=ftl_config,
                 tracer=tracer,
+                metrics=metrics,
             )
             for i in range(devices)
         ]
@@ -104,11 +109,12 @@ class StorageNode:
                 store_data=store_data,
                 ftl_config=ftl_config,
                 tracer=tracer,
+                metrics=metrics,
             )
         host = HostServer(sim, meter=meter, tracer=tracer)
         if baseline is not None:
             host.mount(baseline.controller)
-        client = InSituClient(sim, tracer=tracer)
+        client = InSituClient(sim, tracer=tracer, metrics=metrics)
         for ssd in compstors:
             client.attach(ssd.controller)
         return cls(sim, host, fabric, compstors, client, meter, baseline_ssd=baseline)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Generator, Sequence
 
 from repro.host.insitu import InSituClient
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.proto.entities import Command, Response
 
 __all__ = ["LeastLoadedBalancer", "MinionDispatcher", "RoundRobinBalancer"]
@@ -58,10 +59,19 @@ class LeastLoadedBalancer:
 class MinionDispatcher:
     """Runs a stream of commands across devices under a placement policy."""
 
-    def __init__(self, client: InSituClient, balancer) -> None:
+    def __init__(
+        self,
+        client: InSituClient,
+        balancer,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.client = client
         self.balancer = balancer
         self.placements: list[tuple[str, str]] = []  # (device, command)
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_placements = self.metrics.counter(
+            "cluster.placements", "placement decisions, by device and policy"
+        )
 
     def submit_all(self, commands: Sequence[Command]) -> Generator:
         """Place and launch every command concurrently; gather responses.
@@ -73,6 +83,8 @@ class MinionDispatcher:
         for command in commands:
             device = yield from self.balancer.pick(self.client)
             self.placements.append((device, command.command_line or "<script>"))
+            if self.metrics.enabled:
+                self._m_placements.inc(device=device, policy=self.balancer.name)
             procs.append(
                 self.client.sim.process(
                     self.client.send_minion(device, command), name=f"dispatch->{device}"

@@ -27,6 +27,7 @@ from repro.ftl.allocator import BlockAllocator, OutOfSpaceError
 from repro.ftl.gc import CostBenefitPolicy, GarbageCollector, GcPolicy, GreedyPolicy
 from repro.ftl.mapping import UNMAPPED, PageMap
 from repro.ftl.write_buffer import WriteBuffer
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.sim import Resource, Simulator, Tracer
 from repro.sim.trace import NULL_TRACER
 
@@ -93,6 +94,7 @@ class FlashTranslationLayer:
         config: FtlConfig | None = None,
         name: str = "ftl",
         tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.sim = sim
         self.flash = flash
@@ -100,6 +102,35 @@ class FlashTranslationLayer:
         self.config = config or FtlConfig()
         self.name = name
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        # Bound instruments: the read/write/destage paths run per page, so
+        # the labels are resolved once here and each hook is a single
+        # enabled-test when observability is off.
+        m = self.metrics
+        self._m_reads = m.counter(
+            "ftl.host_reads", "logical page reads served"
+        ).labels(device=name)
+        self._m_writes = m.counter(
+            "ftl.host_writes", "logical page writes accepted"
+        ).labels(device=name)
+        self._m_buffer_hits = m.counter(
+            "ftl.buffer_read_hits", "reads served from the fast-release write buffer"
+        ).labels(device=name)
+        self._m_destages = m.counter(
+            "ftl.write_buffer.destages", "write-buffer pages destaged to NAND"
+        ).labels(device=name)
+        self._m_wa = m.gauge(
+            "ftl.write_amplification", "NAND programs / host programs, sampled on destage"
+        ).labels(device=name)
+        self._m_gc_collections = m.counter(
+            "ftl.gc.collections", "garbage-collection block reclaims"
+        ).labels(device=name)
+        self._m_gc_moves = m.counter(
+            "ftl.gc.pages_relocated", "valid pages moved by the collector"
+        ).labels(device=name)
+        self._m_free_blocks = m.gauge(
+            "ftl.free_blocks", "allocator free pool, sampled after GC reclaims"
+        ).labels(device=name)
 
         geo = flash.geometry
         self.logical_pages = int(geo.pages * (1.0 - self.config.op_ratio))
@@ -202,9 +233,11 @@ class FlashTranslationLayer:
         trimmed, reads as empty)."""
         self._check_lpn(lpn)
         self.host_reads += 1
+        self._m_reads.inc()
         hit, data = self.write_buffer.peek(lpn)
         if hit:
             self.buffer_read_hits += 1
+            self._m_buffer_hits.inc()
             yield self.sim.timeout(self.config.buffer_hit_latency)
             return data
         if self.config.read_cache_pages and lpn in self._read_cache:
@@ -245,6 +278,7 @@ class FlashTranslationLayer:
         if data is not None and len(data) > self.page_size:
             raise ValueError(f"payload {len(data)}B exceeds page size {self.page_size}B")
         self.host_writes += 1
+        self._m_writes.inc()
         self._read_cache.pop(lpn, None)  # never serve stale data post-destage
         yield from self.write_buffer.put(lpn, data)
         return None
@@ -279,6 +313,9 @@ class FlashTranslationLayer:
         finally:
             self._destaging.discard(lpn)
         self.host_pages_programmed += 1
+        if self.metrics.enabled:
+            self._m_destages.inc()
+            self._m_wa.set(self.write_amplification())
 
     def relocate(self, lpn: int, old_ppn: int) -> Generator:
         """GC relocation: read the valid copy, program it via the GC stream.

@@ -195,6 +195,7 @@ class GarbageCollector:
         try:
             yield from ftl.relocate(lpn, old_ppn)
             self.pages_relocated += 1
+            ftl._m_gc_moves.inc()
         except LogicalIOError:
             self.relocation_failures += 1
             if ftl.page_map.lookup(lpn) == old_ppn:
@@ -228,4 +229,7 @@ class GarbageCollector:
             return
         ftl.allocator.release_block(block_index)
         self.collections += 1
+        if ftl.metrics.enabled:
+            ftl._m_gc_collections.inc()
+            ftl._m_free_blocks.set(ftl.allocator.free_blocks)
         ftl.tracer.emit(ftl.sim.now, ftl.name, "gc.collect", block=block_index)

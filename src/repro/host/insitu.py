@@ -16,6 +16,8 @@ from __future__ import annotations
 from typing import Any, Generator, Sequence
 
 from repro.nvme import IscPayload, NvmeCommand, NvmeController, Opcode
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.spans import start_trace
 from repro.proto.entities import Command, Minion, Query, QueryKind
 from repro.sim import Simulator, Tracer
 from repro.sim.trace import NULL_TRACER
@@ -30,10 +32,23 @@ class InSituError(Exception):
 class InSituClient:
     """Host-side controller of the in-situ processing flow (master side)."""
 
-    def __init__(self, sim: Simulator, name: str = "client", tracer: Tracer | None = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "client",
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.sim = sim
         self.name = name
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_minions = self.metrics.counter(
+            "client.minions", "minions dispatched by the in-situ client"
+        )
+        self._m_round_trip = self.metrics.histogram(
+            "client.minion.round_trip_seconds", "client-observed minion round trip"
+        )
         self._devices: dict[str, NvmeController] = {}
         self.minions_sent = 0
         self.queries_sent = 0
@@ -68,6 +83,13 @@ class InSituClient:
         """
         controller = self._controller(device)
         minion = Minion(command=command, client=self.name, created_at=self.sim.now)
+        # Table III step 1: the client configures a minion and ships it.
+        # With tracing on, this opens the root span of the minion's life.
+        root_span = None
+        if self.tracer.enabled:
+            root_span = start_trace(self.tracer, self.sim, "minion.lifetime", self.name)
+            root_span.event("client.minion.sent", minion=minion.minion_id, device=device)
+            minion.span = root_span.context
         self.tracer.emit(
             self.sim.now, self.name, "client.minion.sent",
             minion=minion.minion_id, device=device,
@@ -78,6 +100,8 @@ class InSituClient:
             NvmeCommand(opcode=Opcode.ISC_MINION, payload=payload)
         )
         if not completion.ok:
+            if root_span is not None:
+                root_span.end(status=completion.status.name)
             raise InSituError(f"minion {minion.minion_id} failed: {completion.status.name}")
         returned: Minion = completion.result
         self.tracer.emit(
@@ -85,6 +109,13 @@ class InSituClient:
             minion=returned.minion_id, device=device,
             status=returned.response.status.value if returned.response else "?",
         )
+        if root_span is not None:
+            root_span.event(
+                "client.minion.returned", minion=returned.minion_id, device=device
+            )
+            root_span.end()
+        self._m_minions.inc(device=device)
+        self._m_round_trip.observe(self.sim.now - minion.created_at, device=device)
         return returned
 
     def run(self, device: str, command_line: str = "", script: str = "", **kw) -> Generator:

@@ -22,6 +22,8 @@ from typing import Any, Generator
 
 from repro.isos.process import ProcessState
 from repro.isps.subsystem import InSituProcessingSubsystem
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.spans import Span, continue_trace
 from repro.sim.core import Interrupt
 from repro.isps.telemetry import TelemetrySnapshot
 from repro.nvme.commands import Opcode
@@ -42,6 +44,7 @@ class IspsAgent:
         device_name: str = "compstor",
         tracer: Tracer | None = None,
         track_interval: float = 10e-3,
+        metrics: MetricsRegistry | None = None,
     ):
         self.sim = sim
         self.isps = isps
@@ -51,6 +54,26 @@ class IspsAgent:
         self.minions_served = 0
         self.queries_served = 0
         self.active_minions = 0
+        self.watchdog_kills = 0
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        m = self.metrics
+        self._m_minions = m.counter(
+            "isps.minions", "minions served by the agent, by response status"
+        )
+        self._m_queue_wait = m.histogram(
+            "isps.minion.queue_wait_seconds",
+            "client-send to in-situ execution start (transport + agent queueing)",
+        )
+        self._m_exec = m.histogram(
+            "isps.minion.exec_seconds", "in-situ execution time per minion"
+        )
+        self._m_active = m.gauge(
+            "isps.minions.active", "minions currently executing on the device"
+        )
+        self._m_watchdog = m.counter(
+            "isps.watchdog.kills", "runaway minions killed by the agent watchdog"
+        )
+        self._m_queries = m.counter("isps.queries", "admin queries served, by kind")
 
     # -- NVMe ISC dispatch ---------------------------------------------------
     def handle(self, opcode: Opcode, body: Any) -> Generator:
@@ -73,28 +96,50 @@ class IspsAgent:
     # -- minions -----------------------------------------------------------
     def _serve_minion(self, minion: Minion) -> Generator:
         command = minion.command
+        component = f"{self.device_name}.agent"
+        # Table III steps 2-6 live under one agent span when the minion
+        # carries a span context (its parent is the NVMe transport hop).
+        span = None
+        if minion.span is not None and self.tracer.enabled:
+            span = continue_trace(
+                self.tracer, self.sim, "agent.execute", component, minion.span
+            )
+            span.event("minion.received", minion=minion.minion_id)
         self.tracer.emit(
-            self.sim.now, f"{self.device_name}.agent", "minion.received",
+            self.sim.now, component, "minion.received",
             minion=minion.minion_id, command=command.command_line or "<script>",
         )
         self.active_minions += 1
+        self._m_active.set(self.active_minions, device=self.device_name)
         started = self.sim.now
+        self._m_queue_wait.observe(
+            started - minion.created_at, device=self.device_name
+        )
         try:
-            response = yield from self._execute(minion)
+            response = yield from self._execute(minion, span)
         finally:
             self.active_minions -= 1
+            self._m_active.set(self.active_minions, device=self.device_name)
         response.execution_seconds = self.sim.now - started
         response.device = self.device_name
         minion.response = response
         minion.completed_at = self.sim.now
         self.minions_served += 1
+        self._m_minions.inc(device=self.device_name, status=response.status.value)
+        self._m_exec.observe(response.execution_seconds, device=self.device_name)
         self.tracer.emit(
-            self.sim.now, f"{self.device_name}.agent", "minion.responded",
+            self.sim.now, component, "minion.responded",
             minion=minion.minion_id, status=response.status.value,
         )
+        if span is not None:
+            span.event(
+                "minion.responded", minion=minion.minion_id,
+                status=response.status.value,
+            )
+            span.end()
         return minion
 
-    def _execute(self, minion: Minion) -> Generator:
+    def _execute(self, minion: Minion, span: Span | None = None) -> Generator:
         command = minion.command
         os_ = self.isps.os
         # validate the data contract before spawning
@@ -105,9 +150,12 @@ class IspsAgent:
                 exit_code=-1,
                 stdout=f"missing input files: {missing}".encode(),
             )
+        exec_span = None
         try:
             if command.script:
                 process = None
+                if span is not None:
+                    exec_span = span.child("exec.script")
                 results = yield from self._run_script_tracked(command)
                 status = results[-1][1] if results else None
                 exit_code = status.code if status else -1
@@ -120,7 +168,17 @@ class IspsAgent:
                     self.sim.now, f"{self.device_name}.agent", "minion.spawned",
                     minion=minion.minion_id, pid=process.pid,
                 )
-                self.sim.process(self._track(minion, process), name="agent.tracker")
+                if span is not None:
+                    # Table III steps 3-4 (driver + flash traffic) happen
+                    # inside this window; the span-tree builder adopts the
+                    # flash trace records into it.
+                    exec_span = span.child("exec.process")
+                    exec_span.event(
+                        "minion.spawned", minion=minion.minion_id, pid=process.pid
+                    )
+                self.sim.process(
+                    self._track(minion, process, span), name="agent.tracker"
+                )
                 if command.timeout_seconds > 0:
                     self.sim.process(
                         self._watchdog(process, command.timeout_seconds),
@@ -144,6 +202,9 @@ class IspsAgent:
             return Response(
                 status=ResponseStatus.CRASHED, exit_code=-1, stdout=repr(exc).encode()
             )
+        finally:
+            if exec_span is not None:
+                exec_span.end()
         status_kind = ResponseStatus.OK if exit_code == 0 else ResponseStatus.APP_ERROR
         return Response(
             status=status_kind, exit_code=exit_code, stdout=stdout, detail=detail
@@ -158,16 +219,24 @@ class IspsAgent:
         yield self.sim.timeout(timeout_seconds)
         if process.state == ProcessState.RUNNING:
             process.sim_process.interrupt("agent watchdog timeout")
+            self.watchdog_kills += 1
+            self._m_watchdog.inc(device=self.device_name)
         return None
 
-    def _track(self, minion: Minion, process) -> Generator:
+    def _track(self, minion: Minion, process, span: Span | None = None) -> Generator:
         """Step 5 of Table III: the agent keeps track of in-situ status."""
         while process.state == ProcessState.RUNNING:
+            utilization = self.isps.cluster.utilization()
             self.tracer.emit(
                 self.sim.now, f"{self.device_name}.agent", "minion.tracked",
                 minion=minion.minion_id, pid=process.pid,
-                utilization=self.isps.cluster.utilization(),
+                utilization=utilization,
             )
+            if span is not None:
+                span.event(
+                    "minion.tracked", minion=minion.minion_id, pid=process.pid,
+                    utilization=utilization,
+                )
             yield self.sim.timeout(self.track_interval)
         return None
 
@@ -188,6 +257,7 @@ class IspsAgent:
         else:  # pragma: no cover - exhaustive over QueryKind
             raise ValueError(f"unknown query kind {query.kind}")
         self.queries_served += 1
+        self._m_queries.inc(device=self.device_name, kind=query.kind.value)
         return query
 
     def _serve_load(self, executable) -> Generator:

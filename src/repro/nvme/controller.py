@@ -17,6 +17,8 @@ from typing import Any, Callable, Generator
 from repro.ftl import FlashTranslationLayer, LogicalIOError
 from repro.nvme.commands import NvmeCommand, NvmeCompletion, Opcode, Status
 from repro.nvme.queues import QueuePair
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.spans import continue_trace
 from repro.pcie.switch import PciePort
 from repro.sim import Simulator, Tracer
 from repro.sim.trace import NULL_TRACER
@@ -62,6 +64,7 @@ class NvmeController:
         tracer: Tracer | None = None,
         firmware_cluster=None,
         firmware_cycles: float = 15_000.0,
+        metrics: MetricsRegistry | None = None,
     ):
         if queue_pairs < 1 or workers_per_queue < 1:
             raise ValueError("queue_pairs and workers_per_queue must be >= 1")
@@ -73,6 +76,16 @@ class NvmeController:
         self.firmware_cycles = firmware_cycles
         self.name = name
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_commands = self.metrics.counter(
+            "nvme.commands", "NVMe commands completed, by opcode and status"
+        )
+        self._m_latency = self.metrics.histogram(
+            "nvme.command.latency_seconds", "submission-to-completion latency per opcode"
+        )
+        self._m_qdepth = self.metrics.gauge(
+            "nvme.queue.depth", "outstanding commands per queue pair, sampled at fetch"
+        )
         self.queues = [
             QueuePair(sim, qid=q, depth=queue_depth, name=f"{name}.qp") for q in range(queue_pairs)
         ]
@@ -105,6 +118,11 @@ class NvmeController:
     def _worker(self, qp: QueuePair) -> Generator:
         while True:
             submitted_at, command = yield from qp.fetch()
+            if self.metrics.enabled:
+                self._m_qdepth.set(
+                    qp.outstanding, device=self.name, queue=qp.qid,
+                    opcode=command.opcode.name,
+                )
             if self.firmware_cluster is not None:
                 # shared-core design: command processing competes with ISC
                 yield from self.firmware_cluster.execute(self.firmware_cycles)
@@ -123,6 +141,13 @@ class NvmeController:
             stats[0] += 1
             stats[1] += completion.latency
             stats[2] = max(stats[2], completion.latency)
+            if self.metrics.enabled:
+                self._m_commands.inc(
+                    device=self.name, opcode=command.opcode.name, status=status.name
+                )
+                self._m_latency.observe(
+                    completion.latency, device=self.name, opcode=command.opcode.name
+                )
             self.tracer.emit(
                 self.sim.now, self.name, "nvme.complete",
                 opcode=command.opcode.name, status=status.name,
@@ -197,10 +222,26 @@ class NvmeController:
         if self.port is not None and payload.nbytes:
             yield from self.port.from_host(payload.nbytes)
         self.isc_commands += 1
+        # Minions carrying a span context get a transport hop in their tree;
+        # the agent then parents its execution span under this one.
+        body = payload.body
+        span = None
+        parent_ctx = getattr(body, "span", None)
+        if parent_ctx is not None and self.tracer.enabled:
+            span = continue_trace(
+                self.tracer, self.sim, "nvme.isc", self.name, parent_ctx
+            )
+            body.span = span.context
         try:
-            result = yield from self._isc_handler(command.opcode, payload.body)
+            result = yield from self._isc_handler(command.opcode, body)
         except Exception:
+            if span is not None:
+                span.end(status="ISC_FAILURE")
+                body.span = parent_ctx
             return Status.ISC_FAILURE, None
+        if span is not None:
+            span.end()
+            body.span = parent_ctx
         # result envelopes travel back over the wire too
         if self.port is not None:
             result_bytes = getattr(result, "nbytes", 256)

@@ -1,0 +1,210 @@
+"""Fleet-level health aggregation.
+
+Folds per-device :class:`~repro.isps.telemetry.TelemetrySnapshot`s and SMART
+log pages (``NvmeController.smart_log``) into one :class:`FleetHealth`
+summary — the report an SRE dashboard would render for a rack of CompStor
+nodes: minion-latency percentiles, per-node utilisation, grown-bad-block
+totals, wear, thermal headroom.
+
+The aggregator is deliberately pull-based and simulation-agnostic: feed it
+snapshots from :meth:`StorageFleet.telemetry`, SMART dicts from each
+controller, and minion latencies from responses (or an enabled
+:class:`~repro.obs.metrics.Histogram`), then ask for :meth:`summary`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = ["FleetHealth", "HealthAggregator"]
+
+
+def _percentile(sorted_samples: list[float], q: float) -> float:
+    """Nearest-rank-with-interpolation percentile over raw samples."""
+    if not sorted_samples:
+        return 0.0
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    position = q * (len(sorted_samples) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_samples) - 1)
+    fraction = position - lower
+    return sorted_samples[lower] * (1 - fraction) + sorted_samples[upper] * fraction
+
+
+@dataclass(frozen=True, slots=True)
+class FleetHealth:
+    """Point-in-time rollup across every device in a fleet."""
+
+    time: float
+    nodes: int
+    devices: int
+    active_minions: int
+    running_processes: int
+    mean_utilization: float
+    max_utilization: float
+    per_node_utilization: dict[int, float]
+    max_temperature_c: float
+    total_free_bytes: int
+    minion_latency_p50: float
+    minion_latency_p95: float
+    minion_latency_p99: float
+    minion_latency_samples: int
+    grown_bad_blocks: int
+    media_errors: int
+    max_percentage_used: int
+    max_write_amplification: float
+    gc_collections: int
+    alerts: tuple[str, ...] = ()
+
+    def rows(self) -> list[list[Any]]:
+        """``[attribute, value]`` rows for table rendering."""
+        return [
+            ["nodes / devices", f"{self.nodes} / {self.devices}"],
+            ["active minions", self.active_minions],
+            ["running processes", self.running_processes],
+            ["utilization mean / max", f"{self.mean_utilization * 100:.1f}% / {self.max_utilization * 100:.1f}%"],
+            ["max temperature", f"{self.max_temperature_c:.1f}C"],
+            ["free bytes", self.total_free_bytes],
+            ["minion latency p50/p95/p99",
+             f"{self.minion_latency_p50 * 1e3:.2f} / {self.minion_latency_p95 * 1e3:.2f} / "
+             f"{self.minion_latency_p99 * 1e3:.2f} ms (n={self.minion_latency_samples})"],
+            ["grown bad blocks", self.grown_bad_blocks],
+            ["media errors", self.media_errors],
+            ["max % used", self.max_percentage_used],
+            ["max write amplification", f"{self.max_write_amplification:.2f}"],
+            ["GC collections", self.gc_collections],
+            ["alerts", "; ".join(self.alerts) if self.alerts else "none"],
+        ]
+
+
+@dataclass
+class _DeviceHealth:
+    node: int
+    device: str
+    snapshot: Any
+    smart: Mapping[str, Any] | None = None
+
+
+class HealthAggregator:
+    """Accumulates device observations; :meth:`summary` rolls them up.
+
+    Thresholds fire operator alerts (strings, not exceptions): hot devices,
+    saturated cores, wear-out, grown bad blocks.
+    """
+
+    def __init__(
+        self,
+        utilization_warn: float = 0.95,
+        temperature_warn_c: float = 85.0,
+        percentage_used_warn: int = 90,
+    ):
+        self.utilization_warn = utilization_warn
+        self.temperature_warn_c = temperature_warn_c
+        self.percentage_used_warn = percentage_used_warn
+        self._devices: dict[tuple[int, str], _DeviceHealth] = {}
+        self._latencies: list[float] = []
+        self._histogram_percentiles: tuple[float, float, float] | None = None
+        self._histogram_samples = 0
+
+    # -- feeding ------------------------------------------------------------
+    def observe_device(
+        self,
+        node: int,
+        device: str,
+        snapshot: Any,
+        smart: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Record one device's telemetry (+ optional SMART page).
+
+        Re-observing a device replaces its previous observation, so one
+        aggregator can be polled across a run.
+        """
+        self._devices[(node, device)] = _DeviceHealth(node, device, snapshot, smart)
+
+    def observe_minion_latency(self, seconds: float) -> None:
+        self._latencies.append(seconds)
+
+    def observe_minion_latencies(self, seconds: Iterable[float]) -> None:
+        self._latencies.extend(seconds)
+
+    def observe_latency_histogram(self, histogram: Any) -> None:
+        """Take percentiles from a :class:`repro.obs.metrics.Histogram`
+        (used when raw per-minion latencies were not retained)."""
+        self._histogram_percentiles = (
+            histogram.aggregate_percentile(0.50),
+            histogram.aggregate_percentile(0.95),
+            histogram.aggregate_percentile(0.99),
+        )
+        self._histogram_samples = sum(
+            state.count for state in histogram._values.values()
+        )
+
+    # -- rollup -------------------------------------------------------------
+    def summary(self) -> FleetHealth:
+        if not self._devices:
+            raise ValueError("no device observations to summarise")
+        snaps = list(self._devices.values())
+        utilizations = [d.snapshot.core_utilization for d in snaps]
+        per_node: dict[int, list[float]] = defaultdict(list)
+        for d in snaps:
+            per_node[d.node].append(d.snapshot.core_utilization)
+        node_util = {n: sum(v) / len(v) for n, v in sorted(per_node.items())}
+
+        smarts = [d.smart for d in snaps if d.smart is not None]
+        bad_blocks = sum(int(s.get("bad_blocks", 0)) for s in smarts)
+        media_errors = sum(int(s.get("media_errors", 0)) for s in smarts)
+        gc_collections = sum(int(s.get("gc_collections", 0)) for s in smarts)
+        pct_used = max((int(s.get("percentage_used", 0)) for s in smarts), default=0)
+        max_wa = max((float(s.get("write_amplification", 0.0)) for s in smarts), default=0.0)
+
+        if self._latencies:
+            ordered = sorted(self._latencies)
+            p50 = _percentile(ordered, 0.50)
+            p95 = _percentile(ordered, 0.95)
+            p99 = _percentile(ordered, 0.99)
+            n_samples = len(ordered)
+        elif self._histogram_percentiles is not None:
+            p50, p95, p99 = self._histogram_percentiles
+            n_samples = self._histogram_samples
+        else:
+            p50 = p95 = p99 = 0.0
+            n_samples = 0
+
+        max_temp = max(d.snapshot.temperature_c for d in snaps)
+        alerts: list[str] = []
+        for d in snaps:
+            tag = f"node{d.node}/{d.device}"
+            if d.snapshot.core_utilization >= self.utilization_warn:
+                alerts.append(f"{tag}: cores saturated ({d.snapshot.core_utilization * 100:.0f}%)")
+            if d.snapshot.temperature_c >= self.temperature_warn_c:
+                alerts.append(f"{tag}: hot ({d.snapshot.temperature_c:.0f}C)")
+            if d.smart and int(d.smart.get("percentage_used", 0)) >= self.percentage_used_warn:
+                alerts.append(f"{tag}: wear {d.smart['percentage_used']}% of rated life")
+            if d.smart and int(d.smart.get("bad_blocks", 0)) > 0:
+                alerts.append(f"{tag}: {d.smart['bad_blocks']} grown bad blocks")
+
+        return FleetHealth(
+            time=max(d.snapshot.time for d in snaps),
+            nodes=len({d.node for d in snaps}),
+            devices=len(snaps),
+            active_minions=sum(d.snapshot.active_minions for d in snaps),
+            running_processes=sum(d.snapshot.running_processes for d in snaps),
+            mean_utilization=sum(utilizations) / len(utilizations),
+            max_utilization=max(utilizations),
+            per_node_utilization=node_util,
+            max_temperature_c=max_temp,
+            total_free_bytes=sum(d.snapshot.free_bytes for d in snaps),
+            minion_latency_p50=p50,
+            minion_latency_p95=p95,
+            minion_latency_p99=p99,
+            minion_latency_samples=n_samples,
+            grown_bad_blocks=bad_blocks,
+            media_errors=media_errors,
+            max_percentage_used=pct_used,
+            max_write_amplification=max_wa,
+            gc_collections=gc_collections,
+            alerts=tuple(alerts),
+        )

@@ -1,0 +1,419 @@
+"""Fleet-wide metrics instruments.
+
+A :class:`MetricsRegistry` hands out :class:`Counter` / :class:`Gauge` /
+:class:`Histogram` instruments keyed by hierarchical dotted names (e.g.
+``"ftl.gc.collections"``) plus label dicts (``device="compstor0"``), the
+observability substrate the paper's operational story needs ("ARM cores
+utilization, or temperature of the cores ... used for load balancing").
+
+Design constraints, in order:
+
+1. **The default path pays nothing.**  Components hold an instrument bound
+   at construction time against :data:`NULL_METRICS`; every update method
+   starts with one attribute test and returns.  The overhead guard bench
+   (``benchmarks/test_obs_overhead.py``) enforces this.
+2. **Simulation-time aware.**  Updates are stamped with the registry's
+   clock (wire ``clock=lambda: sim.now``), and ``keep_series=True`` records
+   a bounded ``(time, value)`` history per instrument/label-set so
+   time-series can be extracted per component after a run.
+3. **No new dependencies** — exporters (:mod:`repro.obs.export`) turn the
+   same samples into Prometheus text or JSON lines.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Iterable, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+]
+
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default histogram bounds, tuned for simulated device latencies (seconds):
+#: sub-microsecond buffer hits up to multi-second minion jobs.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Instrument:
+    """Shared plumbing: a named family of per-label-set values."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str = ""):
+        self.registry = registry
+        self.name = name
+        self.help = help
+        self._values: dict[LabelKey, Any] = {}
+        self._updated: dict[LabelKey, float] = {}
+
+    # -- sample access ------------------------------------------------------
+    def samples(self) -> list[tuple[dict[str, str], Any, float]]:
+        """``(labels, value, last_update_time)`` per label set, sorted."""
+        return [
+            (dict(key), self._values[key], self._updated.get(key, 0.0))
+            for key in sorted(self._values)
+        ]
+
+    def value(self, **labels: Any) -> Any:
+        """Current value for one label set (KeyError if never updated)."""
+        return self._values[_label_key(labels)]
+
+    def get(self, default: Any = None, **labels: Any) -> Any:
+        return self._values.get(_label_key(labels), default)
+
+    def _stamp(self, key: LabelKey, value: Any) -> None:
+        now = self.registry.now()
+        self._updated[key] = now
+        self.registry._record_series(self.name, key, now, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} ({len(self._values)} series)>"
+
+
+class Counter(Instrument):
+    """Monotonically increasing count (events, pages, joules, ...)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if not self.registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        key = _label_key(labels)
+        value = self._values.get(key, 0.0) + amount
+        self._values[key] = value
+        self._stamp(key, value)
+
+    def labels(self, **labels: Any) -> "BoundCounter":
+        return BoundCounter(self, _label_key(labels))
+
+    def total(self) -> float:
+        """Sum across all label sets."""
+        return float(sum(self._values.values()))
+
+
+class BoundCounter:
+    """A counter pre-bound to one label set: zero-allocation hot-path inc."""
+
+    __slots__ = ("_counter", "_key")
+
+    def __init__(self, counter: Counter, key: LabelKey):
+        self._counter = counter
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        counter = self._counter
+        if not counter.registry.enabled:
+            return
+        key = self._key
+        value = counter._values.get(key, 0.0) + amount
+        counter._values[key] = value
+        counter._stamp(key, value)
+
+
+class Gauge(Instrument):
+    """A value that can go up and down (queue depth, utilisation, WA)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        if not self.registry.enabled:
+            return
+        key = _label_key(labels)
+        self._values[key] = float(value)
+        self._stamp(key, value)
+
+    def add(self, delta: float, **labels: Any) -> None:
+        if not self.registry.enabled:
+            return
+        key = _label_key(labels)
+        value = self._values.get(key, 0.0) + delta
+        self._values[key] = value
+        self._stamp(key, value)
+
+    def labels(self, **labels: Any) -> "BoundGauge":
+        return BoundGauge(self, _label_key(labels))
+
+
+class BoundGauge:
+    """A gauge pre-bound to one label set."""
+
+    __slots__ = ("_gauge", "_key")
+
+    def __init__(self, gauge: Gauge, key: LabelKey):
+        self._gauge = gauge
+        self._key = key
+
+    def set(self, value: float) -> None:
+        gauge = self._gauge
+        if not gauge.registry.enabled:
+            return
+        gauge._values[self._key] = float(value)
+        gauge._stamp(self._key, value)
+
+    def add(self, delta: float) -> None:
+        gauge = self._gauge
+        if not gauge.registry.enabled:
+            return
+        key = self._key
+        value = gauge._values.get(key, 0.0) + delta
+        gauge._values[key] = value
+        gauge._stamp(key, value)
+
+
+class _HistogramState:
+    """Per-label-set histogram accumulator."""
+
+    __slots__ = ("bucket_counts", "count", "sum", "max")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * (n_buckets + 1)  # +1 = overflow (+Inf)
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+
+class Histogram(Instrument):
+    """Bucketed distribution with percentile estimation.
+
+    Buckets are upper bounds (Prometheus ``le`` convention); one implicit
+    ``+Inf`` overflow bucket is always present.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] | None = None,
+    ):
+        super().__init__(registry, name, help)
+        bounds = tuple(sorted(buckets)) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        if not self.registry.enabled:
+            return
+        key = _label_key(labels)
+        state = self._values.get(key)
+        if state is None:
+            state = self._values[key] = _HistogramState(len(self.buckets))
+        index = bisect.bisect_left(self.buckets, value)
+        state.bucket_counts[index] += 1
+        state.count += 1
+        state.sum += value
+        if value > state.max:
+            state.max = value
+        self._stamp(key, value)
+
+    def labels(self, **labels: Any) -> "BoundHistogram":
+        return BoundHistogram(self, _label_key(labels))
+
+    # -- statistics ---------------------------------------------------------
+    def _state(self, **labels: Any) -> _HistogramState | None:
+        return self._values.get(_label_key(labels))
+
+    def count(self, **labels: Any) -> int:
+        state = self._state(**labels)
+        return state.count if state else 0
+
+    def mean(self, **labels: Any) -> float:
+        state = self._state(**labels)
+        if not state or not state.count:
+            return 0.0
+        return state.sum / state.count
+
+    def percentile(self, q: float, **labels: Any) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) by linear
+        interpolation inside the containing bucket.
+
+        The overflow bucket is clamped to the observed maximum, so p99 of a
+        distribution that escapes the bounds still reports a finite value.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        state = self._state(**labels)
+        if not state or not state.count:
+            return 0.0
+        rank = q * state.count
+        cumulative = 0
+        for index, bucket_count in enumerate(state.bucket_counts):
+            if not bucket_count:
+                continue
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index >= len(self.buckets):  # overflow bucket
+                    return state.max
+                upper = self.buckets[index]
+                lower = self.buckets[index - 1] if index > 0 else 0.0
+                upper = min(upper, state.max) if state.max > lower else upper
+                fraction = 1.0 - (cumulative - rank) / bucket_count
+                return lower + (upper - lower) * fraction
+        return state.max
+
+    def aggregate_percentile(self, q: float) -> float:
+        """Percentile over the union of every label set's observations."""
+        if not self._values:
+            return 0.0
+        merged = _HistogramState(len(self.buckets))
+        for state in self._values.values():
+            merged.count += state.count
+            merged.sum += state.sum
+            merged.max = max(merged.max, state.max)
+            for i, c in enumerate(state.bucket_counts):
+                merged.bucket_counts[i] += c
+        probe = Histogram(self.registry, self.name, self.help, self.buckets)
+        probe._values[()] = merged
+        return probe.percentile(q)
+
+
+class BoundHistogram:
+    """A histogram pre-bound to one label set."""
+
+    __slots__ = ("_histogram", "_key")
+
+    def __init__(self, histogram: Histogram, key: LabelKey):
+        self._histogram = histogram
+        self._key = key
+
+    def observe(self, value: float) -> None:
+        hist = self._histogram
+        if not hist.registry.enabled:
+            return
+        key = self._key
+        state = hist._values.get(key)
+        if state is None:
+            state = hist._values[key] = _HistogramState(len(hist.buckets))
+        index = bisect.bisect_left(hist.buckets, value)
+        state.bucket_counts[index] += 1
+        state.count += 1
+        state.sum += value
+        if value > state.max:
+            state.max = value
+        hist._stamp(key, value)
+
+
+class MetricsRegistry:
+    """Owns every instrument; the unit of export and of enable/disable.
+
+    Parameters
+    ----------
+    enabled:
+        When False every instrument is a no-op (the shared
+        :data:`NULL_METRICS` default).
+    clock:
+        ``() -> float`` returning the current simulation time; wire
+        ``clock=lambda: sim.now``.  Defaults to a constant 0.0 so a registry
+        can exist before its simulator.
+    keep_series:
+        Record per-instrument/label-set ``(time, value)`` histories.
+    series_limit:
+        Ring-buffer cap per series (oldest points dropped first).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] | None = None,
+        keep_series: bool = False,
+        series_limit: int = 4096,
+    ):
+        self.enabled = enabled
+        self._clock = clock
+        self.keep_series = keep_series
+        self.series_limit = series_limit
+        self._instruments: dict[str, Instrument] = {}
+        self._series: dict[tuple[str, LabelKey], list[tuple[float, float]]] = {}
+
+    @classmethod
+    def for_sim(cls, sim, **kw: Any) -> "MetricsRegistry":
+        """A registry stamping samples with ``sim.now``."""
+        return cls(clock=lambda: sim.now, **kw)
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    @property
+    def clock(self) -> Callable[[], float] | None:
+        return self._clock
+
+    def now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    # -- instrument factories ------------------------------------------------
+    def _instrument(self, cls: type, name: str, help: str, **kw: Any) -> Any:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ValueError(
+                    f"instrument {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        instrument = cls(self, name, help, **kw)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._instrument(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._instrument(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Iterable[float] | None = None
+    ) -> Histogram:
+        return self._instrument(Histogram, name, help, buckets=buckets)
+
+    # -- introspection -------------------------------------------------------
+    def collect(self) -> Iterator[Instrument]:
+        """Instruments in name order (stable export)."""
+        for name in sorted(self._instruments):
+            yield self._instruments[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __getitem__(self, name: str) -> Instrument:
+        return self._instruments[name]
+
+    def names(self, prefix: str = "") -> list[str]:
+        """Registered instrument names under a hierarchical prefix."""
+        return [n for n in sorted(self._instruments) if n.startswith(prefix)]
+
+    def series(self, name: str, **labels: Any) -> list[tuple[float, float]]:
+        """The recorded ``(time, value)`` history (``keep_series=True``)."""
+        return list(self._series.get((name, _label_key(labels)), ()))
+
+    def _record_series(self, name: str, key: LabelKey, now: float, value: Any) -> None:
+        if not self.keep_series:
+            return
+        points = self._series.setdefault((name, key), [])
+        points.append((now, float(value)))
+        if len(points) > self.series_limit:
+            del points[: len(points) - self.series_limit]
+
+
+#: Shared disabled registry for components constructed without metrics.
+NULL_METRICS = MetricsRegistry(enabled=False)

@@ -19,6 +19,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.sim import Simulator
 
 __all__ = ["EnergyReport", "PowerMeter"]
@@ -61,10 +62,14 @@ class EnergyReport:
 class PowerMeter:
     """Accumulates active energy and integrates static power."""
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, metrics: MetricsRegistry | None = None):
         self.sim = sim
         self._active: defaultdict[str, float] = defaultdict(float)
         self._static: dict[str, float] = {}
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_energy = self.metrics.counter(
+            "power.energy_joules", "active energy charged per component"
+        )
 
     # -- wiring -----------------------------------------------------------
     def sink(self, component: str, joules: float) -> None:
@@ -72,6 +77,8 @@ class PowerMeter:
         if joules < 0:
             raise ValueError("joules must be non-negative")
         self._active[component] += joules
+        if self.metrics.enabled:
+            self._m_energy.inc(joules, component=component)
 
     def register_static(self, component: str, watts: float) -> None:
         """Declare a constant power draw (idle/uncore/platform)."""

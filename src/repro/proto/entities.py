@@ -98,6 +98,11 @@ class Minion:
     client: str = "client"
     created_at: float = 0.0
     completed_at: float | None = None
+    #: Observability context (``repro.obs.spans.SpanContext``): each hop
+    #: (client -> NVMe -> agent) re-parents it so the minion's life
+    #: reconstructs as one causally-linked span tree.  ``None`` when the
+    #: sender traces nothing — the wire format does not grow.
+    span: Any = None
 
     @property
     def done(self) -> bool:

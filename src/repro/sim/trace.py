@@ -7,6 +7,7 @@ lifetime) and to build timelines without coupling model code to reporters.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
@@ -41,25 +42,32 @@ class Tracer:
     Tracing is opt-in per component: models hold an optional tracer and call
     :meth:`emit` unconditionally — a disabled tracer is a no-op, so hot paths
     pay one attribute test.
+
+    With ``capacity`` set the log is a **ring buffer**: once full, each new
+    record evicts the oldest one (long-running monitoring keeps the most
+    recent window, the useful half for operators) and :attr:`dropped` counts
+    the evictions.
     """
 
     def __init__(self, enabled: bool = True, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
         self.enabled = enabled
         self.capacity = capacity
-        self.records: list[TraceRecord] = []
+        self.records: deque[TraceRecord] = deque(maxlen=capacity)
         self._dropped = 0
 
     def emit(self, time: float, component: str, kind: str, **detail: Any) -> None:
         if not self.enabled:
             return
-        if self.capacity is not None and len(self.records) >= self.capacity:
-            self._dropped += 1
-            return
-        self.records.append(TraceRecord(time, component, kind, detail))
+        records = self.records
+        if self.capacity is not None and len(records) >= self.capacity:
+            self._dropped += 1  # deque's maxlen evicts the oldest on append
+        records.append(TraceRecord(time, component, kind, detail))
 
     @property
     def dropped(self) -> int:
-        """Records discarded because ``capacity`` was reached."""
+        """Oldest records evicted because ``capacity`` was reached."""
         return self._dropped
 
     def __len__(self) -> int:

@@ -24,6 +24,7 @@ from repro.flash import FlashGeometry
 from repro.ftl import FtlConfig
 from repro.isos.loader import ExecutableRegistry
 from repro.isps import InSituProcessingSubsystem, IspsAgent
+from repro.obs.metrics import MetricsRegistry
 from repro.pcie.switch import PciePort
 from repro.power import PowerMeter
 from repro.sim import Simulator, Tracer
@@ -55,6 +56,7 @@ class CompStorSSD(ConventionalSSD):
         ftl_config: FtlConfig | None = None,
         ecc_config: EccConfig | None = None,
         tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         super().__init__(
             sim,
@@ -66,6 +68,7 @@ class CompStorSSD(ConventionalSSD):
             ftl_config=ftl_config,
             ecc_config=ecc_config,
             tracer=tracer,
+            metrics=metrics,
         )
         sink = meter.sink if meter is not None else None
         self.isps = InSituProcessingSubsystem(
@@ -77,7 +80,9 @@ class CompStorSSD(ConventionalSSD):
             energy_sink=sink,
             tracer=tracer,
         )
-        self.agent = IspsAgent(sim, self.isps, device_name=name, tracer=tracer)
+        self.agent = IspsAgent(
+            sim, self.isps, device_name=name, tracer=tracer, metrics=metrics
+        )
         self.controller.register_isc_handler(self.agent.handle)
         if meter is not None:
             meter.register_static(f"{name}.isps.static", ARM_A53_QUAD.p_idle)

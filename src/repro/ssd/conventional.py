@@ -7,6 +7,7 @@ from repro.ecc import EccConfig, EccEngine
 from repro.flash import FlashArray, FlashGeometry
 from repro.ftl import FlashTranslationLayer, FtlConfig
 from repro.nvme import NvmeController
+from repro.obs.metrics import MetricsRegistry
 from repro.pcie.switch import PciePort
 from repro.power import PowerMeter
 from repro.sim import Simulator, Tracer
@@ -41,6 +42,7 @@ class ConventionalSSD:
         ftl_config: FtlConfig | None = None,
         ecc_config: EccConfig | None = None,
         tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.sim = sim
         self.name = name
@@ -56,10 +58,11 @@ class ConventionalSSD:
         )
         self.ecc = EccEngine(sim, ecc_config, name=f"{name}.ecc", energy_sink=sink)
         self.ftl = FlashTranslationLayer(
-            sim, self.flash, self.ecc, config=ftl_config, name=f"{name}.ftl", tracer=tracer
+            sim, self.flash, self.ecc, config=ftl_config, name=f"{name}.ftl",
+            tracer=tracer, metrics=metrics,
         )
         self.controller = NvmeController(
-            sim, self.ftl, port=port, name=f"{name}.nvme", tracer=tracer
+            sim, self.ftl, port=port, name=f"{name}.nvme", tracer=tracer, metrics=metrics
         )
         if meter is not None:
             meter.register_static(f"{name}.controller.static", DEVICE_CONTROLLER_W)

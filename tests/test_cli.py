@@ -62,6 +62,24 @@ def test_fleet_command(capsys):
     assert "aggregate MB/s" in out
 
 
+def test_metrics_command(capsys):
+    assert main(["metrics", "--workload", "grep", "--devices", "2", "--files", "2"]) == 0
+    out = capsys.readouterr().out
+    # all four instrumented layers show up in the Prometheus exposition
+    assert "repro_ftl_host_reads_total" in out
+    assert "repro_nvme_commands_total" in out
+    assert "repro_isps_minions_total" in out
+    assert "repro_cluster_placements_total" in out
+    # JSON lines keep dotted names
+    assert '"name": "ftl.host_reads"' in out
+    # and the first minion's span tree replays the Table III lifecycle
+    assert "span tree" in out
+    for step in ("client.minion.sent", "minion.received", "minion.spawned",
+                 "flash.read", "minion.tracked", "minion.responded",
+                 "client.minion.returned"):
+        assert step in out, f"span tree missing {step}"
+
+
 def test_validate_quick_scorecard(capsys):
     assert main(["validate", "--quick"]) == 0
     out = capsys.readouterr().out

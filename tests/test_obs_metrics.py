@@ -1,0 +1,191 @@
+"""Unit tests for the metrics registry, instruments, and exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, NULL_METRICS, to_json_lines, to_prometheus
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+
+# -- counters -----------------------------------------------------------------
+
+def test_counter_accumulates_per_label_set():
+    registry = MetricsRegistry()
+    counter = registry.counter("ftl.host_reads", "reads")
+    counter.inc(device="d0")
+    counter.inc(3, device="d0")
+    counter.inc(device="d1")
+    assert counter.value(device="d0") == 4
+    assert counter.value(device="d1") == 1
+    assert counter.total() == 5
+
+
+def test_counter_rejects_negative():
+    counter = MetricsRegistry().counter("c")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_bound_counter_shares_state_with_family():
+    registry = MetricsRegistry()
+    counter = registry.counter("nvme.commands")
+    bound = counter.labels(device="d0", opcode="READ")
+    bound.inc()
+    bound.inc(2)
+    assert counter.value(device="d0", opcode="READ") == 3
+    # label order must not matter
+    assert counter.value(opcode="READ", device="d0") == 3
+
+
+# -- gauges -------------------------------------------------------------------
+
+def test_gauge_set_and_add():
+    gauge = MetricsRegistry().gauge("queue.depth")
+    gauge.set(4, queue=0)
+    gauge.add(-1, queue=0)
+    assert gauge.value(queue=0) == 3
+    bound = gauge.labels(queue=1)
+    bound.set(7)
+    bound.add(1)
+    assert gauge.value(queue=1) == 8
+
+
+# -- histograms ----------------------------------------------------------------
+
+def test_histogram_count_sum_percentiles():
+    hist = MetricsRegistry().histogram("lat", buckets=(0.001, 0.01, 0.1, 1.0))
+    for v in (0.0005, 0.002, 0.005, 0.05, 0.5):
+        hist.observe(v, device="d0")
+    assert hist.count(device="d0") == 5
+    assert hist.mean(device="d0") == pytest.approx(0.5575 / 5)
+    p50 = hist.percentile(0.50, device="d0")
+    assert 0.001 < p50 <= 0.01
+    # p100 clamps to the observed maximum, even inside the overflow logic
+    assert hist.percentile(1.0, device="d0") <= 0.5 + 1e-9
+
+
+def test_histogram_overflow_bucket_clamps_to_max():
+    hist = MetricsRegistry().histogram("lat", buckets=(0.001,))
+    hist.observe(5.0)
+    hist.observe(9.0)
+    assert hist.percentile(0.99) == pytest.approx(9.0)
+
+
+def test_histogram_aggregate_percentile_merges_label_sets():
+    hist = MetricsRegistry().histogram("lat", buckets=(0.001, 0.01, 0.1))
+    hist.observe(0.002, device="d0")
+    hist.observe(0.002, device="d1")
+    hist.observe(0.05, device="d1")
+    merged = hist.aggregate_percentile(0.5)
+    assert 0.001 < merged <= 0.01
+
+
+def test_histogram_default_buckets_are_sorted():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+# -- registry ------------------------------------------------------------------
+
+def test_disabled_registry_is_noop():
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("c")
+    gauge = registry.gauge("g")
+    hist = registry.histogram("h")
+    counter.inc(device="d0")
+    counter.labels(device="d0").inc()
+    gauge.set(1)
+    hist.observe(0.5)
+    assert counter.samples() == []
+    assert gauge.samples() == []
+    assert hist.samples() == []
+
+
+def test_null_metrics_is_shared_and_disabled():
+    assert NULL_METRICS.enabled is False
+    NULL_METRICS.counter("anything").inc()
+    assert NULL_METRICS.counter("anything").samples() == []
+
+
+def test_registry_memoizes_and_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    a = registry.counter("x")
+    assert registry.counter("x") is a
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+
+
+def test_registry_names_prefix_filter():
+    registry = MetricsRegistry()
+    registry.counter("ftl.reads")
+    registry.counter("ftl.writes")
+    registry.counter("nvme.commands")
+    assert registry.names("ftl.") == ["ftl.reads", "ftl.writes"]
+    assert "nvme.commands" in registry
+
+
+def test_registry_clock_stamps_samples():
+    t = [0.0]
+    registry = MetricsRegistry(clock=lambda: t[0])
+    counter = registry.counter("c")
+    counter.inc()
+    t[0] = 2.5
+    counter.inc()
+    [(labels, value, updated)] = counter.samples()
+    assert updated == 2.5
+    assert value == 2
+
+
+def test_keep_series_records_bounded_history():
+    t = [0.0]
+    registry = MetricsRegistry(clock=lambda: t[0], keep_series=True, series_limit=3)
+    counter = registry.counter("c")
+    for i in range(5):
+        t[0] = float(i)
+        counter.inc()
+    points = registry.series("c")
+    assert len(points) == 3  # ring-capped
+    assert points[-1] == (4.0, 5.0)
+    assert points[0] == (2.0, 3.0)  # oldest points evicted
+
+
+# -- exporters -----------------------------------------------------------------
+
+def build_populated_registry():
+    registry = MetricsRegistry(clock=lambda: 1.0)
+    registry.counter("ftl.gc.collections", "GC runs").inc(2, device="d0")
+    registry.gauge("ftl.write_amplification").set(1.25, device="d0")
+    hist = registry.histogram("nvme.command.latency_seconds", buckets=(0.001, 0.01))
+    hist.observe(0.0005, device="d0")
+    hist.observe(0.5, device="d0")
+    return registry
+
+
+def test_prometheus_export_conventions():
+    text = to_prometheus(build_populated_registry())
+    assert "# HELP repro_ftl_gc_collections_total GC runs" in text
+    assert "# TYPE repro_ftl_gc_collections_total counter" in text
+    assert 'repro_ftl_gc_collections_total{device="d0"} 2' in text
+    assert 'repro_ftl_write_amplification{device="d0"} 1.25' in text
+    # histogram: cumulative buckets + +Inf + sum/count
+    assert 'repro_nvme_command_latency_seconds_bucket{device="d0",le="0.001"} 1' in text
+    assert 'repro_nvme_command_latency_seconds_bucket{device="d0",le="+Inf"} 2' in text
+    assert 'repro_nvme_command_latency_seconds_count{device="d0"} 2' in text
+
+
+def test_json_lines_roundtrip():
+    out = to_json_lines(build_populated_registry())
+    records = [json.loads(line) for line in out.strip().splitlines()]
+    by_name = {r["name"]: r for r in records}
+    assert by_name["ftl.gc.collections"]["value"] == 2
+    assert by_name["ftl.gc.collections"]["labels"] == {"device": "d0"}
+    assert by_name["ftl.gc.collections"]["time"] == 1.0
+    hist = by_name["nvme.command.latency_seconds"]
+    assert hist["count"] == 2
+    assert hist["buckets"] == {"0.001": 1, "+Inf": 1}
+
+
+def test_empty_registry_exports_empty():
+    registry = MetricsRegistry()
+    assert to_prometheus(registry) == ""
+    assert to_json_lines(registry) == ""

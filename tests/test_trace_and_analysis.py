@@ -43,6 +43,22 @@ def test_tracer_capacity_drops_and_counts():
     assert tracer.dropped == 3
 
 
+def test_tracer_ring_buffer_keeps_newest_records():
+    """Regression: a full bounded tracer used to drop *new* records, leaving
+    the log stuck on the oldest window — useless for long-running monitoring.
+    It now evicts the oldest record instead."""
+    tracer = Tracer(capacity=3)
+    for i in range(7):
+        tracer.emit(float(i), "x", "k", i=i)
+    assert [r.detail["i"] for r in tracer.records] == [4, 5, 6]
+    assert tracer.dropped == 4
+
+
+def test_tracer_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
 def test_tracer_clear():
     tracer = Tracer(capacity=1)
     tracer.emit(0.0, "x", "k")
