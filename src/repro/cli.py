@@ -143,6 +143,88 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
     ))
 
 
+def _cmd_chaos(args: argparse.Namespace) -> None:
+    """Run a fleet job under a fault plan; print the recovery report.
+
+    Device targets are fleet-wide ring indices (``--kill 1@0.2`` crashes
+    the second device 0.2 ms after staging completes); ``--random N``
+    derives N faults deterministically from ``--seed``.
+    """
+    from repro.cluster import StorageFleet
+    from repro.faults import BreakerConfig, FaultInjector, FaultPlan, RetryPolicy
+    from repro.proto import Command
+    from repro.workloads import BookCorpus, CorpusSpec
+
+    fleet = StorageFleet.build(
+        nodes=args.nodes,
+        devices_per_node=args.devices,
+        seed=args.seed,
+        device_capacity=24 * 1024 * 1024,
+        retry_policy=RetryPolicy(),
+        breaker_config=BreakerConfig(),
+    )
+    ring = fleet.device_ring()
+    books = BookCorpus(
+        CorpusSpec(files=args.books, mean_file_bytes=32 * 1024, seed=args.seed)
+    ).generate()
+    fleet.sim.run(
+        fleet.sim.process(fleet.stage_corpus(books, replicas=args.replicas))
+    )
+    start = fleet.sim.now
+
+    def targets(specs):
+        for raw in specs:
+            index, _, when = raw.partition("@")
+            node, device = ring[int(index) % len(ring)]
+            yield node, device, start + float(when or "0") * 1e-3
+
+    ms = lambda value: None if value is None else value * 1e-3
+    plan = FaultPlan(seed=args.seed)
+    for node, device, at in targets(args.kill):
+        plan.kill_device(node, device, at, recover_after=ms(args.recover_after))
+    for node, device, at in targets(args.agent_crash):
+        plan.crash_agent(node, device, at, restart_after=ms(args.restart_after))
+    for node, device, at in targets(args.limp):
+        plan.limp(node, device, at, factor=args.limp_factor, duration=ms(args.limp_duration))
+    for node, device, at in targets(args.transient):
+        plan.transient_window(
+            node, device, at,
+            duration=ms(args.transient_duration), fraction=args.transient_fraction,
+        )
+    if args.random:
+        for event in FaultPlan.random(
+            args.seed, ring, horizon=start + 10e-3, faults=args.random
+        ).events():
+            plan.add(event)
+    print(format_series_table(
+        f"fault plan (seed={args.seed}, fingerprint={plan.fingerprint()})",
+        ["t (ms)", "kind", "target", "detail"],
+        plan.describe_rows() or [["-", "none", "-", "fault-free drill"]],
+    ))
+    FaultInjector.for_fleet(fleet, plan).start()
+
+    def job():
+        report = yield from fleet.run_job(
+            books, lambda b: Command(command_line=f"grep xylophone {b.name}")
+        )
+        return report
+
+    report = fleet.sim.run(fleet.sim.process(job()))
+    print(format_series_table(
+        "degraded-mode job report", ["attribute", "value"], report.rows()
+    ))
+
+    def poll():
+        summary = yield from fleet.health()
+        return summary
+
+    health = fleet.sim.run(fleet.sim.process(poll()))
+    print(format_series_table("fleet health", ["attribute", "value"], health.rows()))
+    if report.lost:
+        print(f"lost minions: {', '.join(report.lost)}")
+        raise SystemExit(1)
+
+
 def _cmd_metrics(args: argparse.Namespace) -> None:
     """Run a workload with full observability on; dump every export surface.
 
@@ -277,6 +359,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--devices", type=int, default=2)
     p.add_argument("--books-per-node", type=int, default=8)
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser("chaos", help="fleet job under injected faults (recovery drill)")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--devices", type=int, default=2, help="CompStors per node")
+    p.add_argument("--books", type=int, default=8)
+    p.add_argument("--replicas", type=int, default=2, help="copies of each book")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--kill", action="append", default=[], metavar="IDX@MS",
+                   help="crash device at ring index IDX, MS ms after staging (repeatable)")
+    p.add_argument("--agent-crash", action="append", default=[], metavar="IDX@MS",
+                   help="crash the ISPS agent daemon (repeatable)")
+    p.add_argument("--limp", action="append", default=[], metavar="IDX@MS",
+                   help="slow the device front end (repeatable)")
+    p.add_argument("--transient", action="append", default=[], metavar="IDX@MS",
+                   help="open a transient NVMe failure window (repeatable)")
+    p.add_argument("--recover-after", type=float, default=None,
+                   help="killed-device recovery delay in ms (default: permanent)")
+    p.add_argument("--restart-after", type=float, default=2.0,
+                   help="agent supervised-restart delay in ms")
+    p.add_argument("--limp-factor", type=float, default=4.0)
+    p.add_argument("--limp-duration", type=float, default=None,
+                   help="limp window in ms (default: permanent)")
+    p.add_argument("--transient-fraction", type=float, default=0.2)
+    p.add_argument("--transient-duration", type=float, default=2.0, help="ms")
+    p.add_argument("--random", type=int, default=0, metavar="N",
+                   help="add N random faults derived deterministically from --seed")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("metrics", help="observability dump: metrics + span tree")
     p.add_argument("--workload", default="grep",

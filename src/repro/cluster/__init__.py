@@ -1,6 +1,6 @@
 """Distributed layer: storage nodes with many CompStors, dispatch policies."""
 
-from repro.cluster.fleet import StorageFleet
+from repro.cluster.fleet import JobReport, StorageFleet
 from repro.cluster.node import StorageNode
 from repro.cluster.scheduler import (
     LeastLoadedBalancer,
@@ -9,6 +9,7 @@ from repro.cluster.scheduler import (
 )
 
 __all__ = [
+    "JobReport",
     "LeastLoadedBalancer",
     "MinionDispatcher",
     "RoundRobinBalancer",

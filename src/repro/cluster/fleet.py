@@ -6,20 +6,76 @@ concurrent minions, resulting in heavy parallelism at the storage unit
 level."  :class:`StorageFleet` builds that two-level topology — a
 coordinator fanning jobs out to per-node in-situ clients, each fanning out
 to its local devices — inside one simulation.
+
+At that scale device failure is routine, so the fleet also owns the
+recovery story: :meth:`stage_corpus` can place ``replicas`` copies of each
+book on consecutive devices of the fleet-wide ring, and :meth:`run_job`
+degrades instead of raising — minions that die with their device are
+rerouted to surviving replicas (or, as a last resort, executed host-side
+when a host holds the data), and the returned :class:`JobReport` accounts
+for every minion: ``completed + recovered + lost == dispatched``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterator, Sequence
 
 from repro.cluster.node import StorageNode
+from repro.faults.retry import BreakerConfig, CircuitBreaker, RetryPolicy
+from repro.host.insitu import InSituError
 from repro.obs.health import FleetHealth, HealthAggregator
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
-from repro.proto.entities import Command, Response
+from repro.proto.entities import Command, Response, ResponseStatus
 from repro.sim import Simulator, Tracer
 from repro.workloads import BookFile, partition_round_robin
 
-__all__ = ["StorageFleet"]
+__all__ = ["JobReport", "StorageFleet"]
+
+
+@dataclass(slots=True)
+class JobReport:
+    """Degraded-mode accounting for one :meth:`StorageFleet.run_job`.
+
+    ``responses`` is aligned with dispatch order; a ``None`` slot is a lost
+    minion (no surviving replica, no host copy).  Unpacking as
+    ``responses, wall = fleet.run_job(...)`` keeps working — the report
+    iterates as the historical 2-tuple.
+    """
+
+    responses: list[Response | None]
+    wall_seconds: float
+    dispatched: int
+    completed: int  # answered by their primary placement
+    recovered: int  # answered by a surviving replica or the host
+    lost: tuple[str, ...] = ()  # book names with no surviving copy
+    retries: int = 0  # client-level resends during this job
+    failovers: int = 0  # minions rerouted to a replica device
+    host_fallbacks: int = 0  # minions executed host-side
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter((self.responses, self.wall_seconds))
+
+    @property
+    def accounted(self) -> int:
+        return self.completed + self.recovered + len(self.lost)
+
+    @property
+    def degraded(self) -> bool:
+        return self.recovered > 0 or bool(self.lost) or self.retries > 0
+
+    def rows(self) -> list[list[Any]]:
+        """``[attribute, value]`` rows for table rendering."""
+        return [
+            ["dispatched", self.dispatched],
+            ["completed (primary)", self.completed],
+            ["recovered (failover)", self.recovered],
+            ["lost", len(self.lost)],
+            ["retries", self.retries],
+            ["replica failovers", self.failovers],
+            ["host fallbacks", self.host_fallbacks],
+            ["wall clock", f"{self.wall_seconds * 1e3:.3f} ms"],
+        ]
 
 
 class StorageFleet:
@@ -39,6 +95,21 @@ class StorageFleet:
         self._m_node_load = self.metrics.gauge(
             "cluster.node.active_minions", "in-flight minions per node, sampled per job"
         )
+        self._m_failovers = self.metrics.counter(
+            "cluster.failovers", "minions rerouted to a surviving replica"
+        )
+        self._m_host_fallbacks = self.metrics.counter(
+            "cluster.host_fallbacks", "minions executed host-side (no replica survived)"
+        )
+        self._m_lost = self.metrics.counter(
+            "cluster.minions.lost", "minions lost with no surviving copy of their data"
+        )
+        #: book name -> ordered replica targets (primary first)
+        self._replica_map: dict[str, list[tuple[int, str]]] = {}
+        self.failovers_total = 0
+        self.host_fallbacks_total = 0
+        self.lost_total = 0
+        self.recovered_total = 0
 
     @classmethod
     def build(
@@ -50,6 +121,8 @@ class StorageFleet:
         store_data: bool = True,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_config: BreakerConfig | None = None,
     ) -> "StorageFleet":
         if nodes < 1:
             raise ValueError("nodes must be >= 1")
@@ -64,6 +137,8 @@ class StorageFleet:
                 store_data=store_data,
                 metrics=metrics,
                 tracer=tracer,
+                retry_policy=retry_policy,
+                breaker_config=breaker_config,
             )
             for _ in range(nodes)
         ]
@@ -73,6 +148,21 @@ class StorageFleet:
     @property
     def total_devices(self) -> int:
         return sum(len(node.compstors) for node in self.nodes)
+
+    def device_ring(self) -> list[tuple[int, str]]:
+        """Every device as ``(node_index, device_name)``, in fleet order.
+
+        Consecutive ring positions host consecutive replicas, so one dead
+        device never takes both copies of a book with ``replicas >= 2``.
+        """
+        return [
+            (node_index, ssd.name)
+            for node_index, node in enumerate(self.nodes)
+            for ssd in node.compstors
+        ]
+
+    def _ssd(self, node_index: int, device: str):
+        return next(s for s in self.nodes[node_index].compstors if s.name == device)
 
     def describe(self) -> dict:
         return {
@@ -84,13 +174,53 @@ class StorageFleet:
         }
 
     # -- dataset ------------------------------------------------------------
-    def stage_corpus(self, books: Sequence[BookFile], compressed: bool = False) -> Generator:
+    def stage_corpus(
+        self,
+        books: Sequence[BookFile],
+        compressed: bool = False,
+        replicas: int = 1,
+    ) -> Generator:
         """Scatter books round-robin over nodes (each node scatters over its
-        devices); all staging runs concurrently."""
-        parts = partition_round_robin(list(books), len(self.nodes))
+        devices); all staging runs concurrently.
+
+        ``replicas=k`` additionally writes each book to the ``k-1`` devices
+        following its primary on the fleet-wide :meth:`device_ring`, and
+        records the replica chains :meth:`run_job` reroutes along.
+        """
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        ring = self.device_ring()
+        if replicas > len(ring):
+            raise ValueError(f"replicas={replicas} exceeds {len(ring)} devices")
+        placement = self.placement(books)
+        ring_index = {target: i for i, target in enumerate(ring)}
+        self._replica_map = {}
+        for target, dev_books in placement.items():
+            base = ring_index[target]
+            chain = [ring[(base + j) % len(ring)] for j in range(replicas)]
+            for book in dev_books:
+                self._replica_map[book.name] = chain
+        if replicas == 1:
+            # the historical single-copy path, bit-identical schedules
+            parts = partition_round_robin(list(books), len(self.nodes))
+            procs = [
+                self.sim.process(node.stage_corpus(part, compressed=compressed))
+                for node, part in zip(self.nodes, parts)
+            ]
+            yield self.sim.all_of(procs)
+            return None
+        per_device: dict[tuple[int, str], list[BookFile]] = {}
+        for target, dev_books in sorted(placement.items()):
+            base = ring_index[target]
+            for j in range(replicas):
+                replica_target = ring[(base + j) % len(ring)]
+                per_device.setdefault(replica_target, []).extend(dev_books)
         procs = [
-            self.sim.process(node.stage_corpus(part, compressed=compressed))
-            for node, part in zip(self.nodes, parts)
+            self.sim.process(
+                StorageNode._stage_books(self._ssd(ni, device).fs, dev_books, compressed),
+                name=f"stage->n{ni}.{device}",
+            )
+            for (ni, device), dev_books in sorted(per_device.items())
         ]
         yield self.sim.all_of(procs)
         return None
@@ -104,40 +234,176 @@ class StorageFleet:
                 out[(node_index, device)] = dev_books
         return out
 
+    def replica_targets(self, book_name: str) -> list[tuple[int, str]]:
+        """Replica chain recorded at staging time (primary first)."""
+        return list(self._replica_map.get(book_name, []))
+
     # -- jobs ----------------------------------------------------------------
     def run_job(
         self,
         books: Sequence[BookFile],
         command_for: Callable[[BookFile], Command],
     ) -> Generator:
-        """One minion per book, everywhere at once.
+        """One minion per book, everywhere at once — surviving failures.
 
-        Returns ``(responses, wall_seconds)``; responses come back grouped
-        per node but flattened in deterministic order.
+        Every failed delivery (dead device, open breaker, retry budget
+        exhausted) is retried against the book's surviving replicas, then
+        against a host that holds the data; only then is the minion counted
+        lost.  Returns a :class:`JobReport` (iterates as the historical
+        ``(responses, wall_seconds)`` pair).
         """
         start = self.sim.now
+        retries_before = sum(node.client.retries for node in self.nodes)
+        ordered_placement = sorted(self.placement(books).items())
         per_node_assignments: list[list[tuple[str, Command]]] = []
-        for (node_index, device), dev_books in sorted(self.placement(books).items()):
+        flat_meta: list[tuple[int, str, BookFile]] = []
+        for (node_index, device), dev_books in ordered_placement:
             while len(per_node_assignments) <= node_index:
                 per_node_assignments.append([])
             per_node_assignments[node_index].extend(
                 (device, command_for(book)) for book in dev_books
             )
+            flat_meta.extend((node_index, device, book) for book in dev_books)
         if self.metrics.enabled:
             for node_index, assignments in enumerate(per_node_assignments):
                 self._m_node_load.set(len(assignments), node=node_index)
         procs = [
-            self.sim.process(node.client.gather(assignments))
+            self.sim.process(node.client.gather(assignments, return_exceptions=True))
             for node, assignments in zip(self.nodes, per_node_assignments)
             if assignments
         ]
         results = yield self.sim.all_of(procs)
-        responses: list[Response] = [r for proc in procs for r in results[proc]]
-        return responses, self.sim.now - start
+        outcomes = [r for proc in procs for r in results[proc]]
 
-    def telemetry(self) -> Generator:
-        """Status of every device in the fleet, concurrently."""
-        procs = [self.sim.process(node.client.status_all()) for node in self.nodes]
+        responses: list[Response | None] = []
+        completed = 0
+        failed: list[tuple[int, tuple[int, str, BookFile]]] = []
+        for slot, (outcome, meta) in enumerate(zip(outcomes, flat_meta)):
+            if isinstance(outcome, InSituError):
+                responses.append(None)
+                failed.append((slot, meta))
+            else:
+                responses.append(outcome)
+                completed += 1
+
+        recovered = 0
+        failovers = 0
+        host_fallbacks = 0
+        lost: list[str] = []
+        if failed:
+            fprocs = [
+                self.sim.process(
+                    self._failover_one(node_index, device, book, command_for),
+                    name=f"failover->{book.name}",
+                )
+                for _, (node_index, device, book) in failed
+            ]
+            fresults = yield self.sim.all_of(fprocs)
+            for (slot, (_, _, book)), proc in zip(failed, fprocs):
+                response = fresults[proc]
+                if response is None:
+                    lost.append(book.name)
+                    if self.metrics.enabled:
+                        self._m_lost.inc(book=book.name)
+                    continue
+                responses[slot] = response
+                recovered += 1
+                if response.device == "host":
+                    host_fallbacks += 1
+                    if self.metrics.enabled:
+                        self._m_host_fallbacks.inc()
+                else:
+                    failovers += 1
+                    if self.metrics.enabled:
+                        self._m_failovers.inc(device=response.device)
+
+        self.failovers_total += failovers
+        self.host_fallbacks_total += host_fallbacks
+        self.lost_total += len(lost)
+        self.recovered_total += recovered
+        report = JobReport(
+            responses=responses,
+            wall_seconds=self.sim.now - start,
+            dispatched=len(flat_meta),
+            completed=completed,
+            recovered=recovered,
+            lost=tuple(lost),
+            retries=sum(node.client.retries for node in self.nodes) - retries_before,
+            failovers=failovers,
+            host_fallbacks=host_fallbacks,
+        )
+        assert report.accounted == report.dispatched, "minion accounting must close"
+        return report
+
+    def _failover_one(
+        self,
+        failed_node: int,
+        failed_device: str,
+        book: BookFile,
+        command_for: Callable[[BookFile], Command],
+    ) -> Generator:
+        """Reroute one failed minion: surviving replicas, then the host."""
+        for target in self._replica_map.get(book.name, []):
+            if target == (failed_node, failed_device):
+                continue
+            node_index, device = target
+            client = self.nodes[node_index].client
+            faults = self._ssd(node_index, device).controller.faults
+            if faults is not None and faults.crashed:
+                continue  # known-dead replica: skip without wire traffic
+            if client.breaker_state(device) == CircuitBreaker.OPEN:
+                continue  # fenced off: the breaker says don't bother
+            try:
+                minion = yield from client.send_minion(device, command_for(book))
+            except InSituError:
+                continue
+            return minion.response
+        response = yield from self._host_fallback(book, command_for(book))
+        return response
+
+    def _host_fallback(self, book: BookFile, command: Command) -> Generator:
+        """Execute the command on a host that holds the data, or give up.
+
+        The paper's host-side baseline doubles as the degraded path: when
+        no replica survives, a node whose host OS has the input files runs
+        the command over the wire the conventional way.
+        """
+        needed = command.input_files if command.input_files else (book.name,)
+        for node in self.nodes:
+            os_ = node.host.os
+            if os_ is None or any(not os_.fs.exists(f) for f in needed):
+                continue
+            try:
+                if command.script:
+                    results = yield from os_.run_script(command.script)
+                    status = results[-1][1] if results else None
+                else:
+                    status, _ = yield from os_.run(command.command_line)
+            except Exception:
+                continue  # host execution failed; try another node
+            if status is None:
+                continue
+            kind = ResponseStatus.OK if status.code == 0 else ResponseStatus.APP_ERROR
+            return Response(
+                status=kind,
+                exit_code=status.code,
+                stdout=status.stdout,
+                detail=dict(status.detail),
+                device="host",
+            )
+        return None
+
+    # -- observability --------------------------------------------------------
+    def telemetry(self, return_exceptions: bool = False) -> Generator:
+        """Status of every device in the fleet, concurrently.
+
+        With ``return_exceptions=True`` unreachable devices report their
+        :class:`InSituError` instead of killing the poll.
+        """
+        procs = [
+            self.sim.process(node.client.status_all(return_exceptions=return_exceptions))
+            for node in self.nodes
+        ]
         results = yield self.sim.all_of(procs)
         merged = {}
         for node_index, proc in enumerate(procs):
@@ -145,26 +411,45 @@ class StorageFleet:
                 merged[(node_index, device)] = snap
         return merged
 
+    def breakers_open(self) -> tuple[str, ...]:
+        """``node<i>/<device>`` tags for every non-closed circuit breaker."""
+        return tuple(
+            f"node{node_index}/{device}"
+            for node_index, node in enumerate(self.nodes)
+            for device, state in sorted(node.client.breaker_states().items())
+            if state != CircuitBreaker.CLOSED
+        )
+
     def health(self, aggregator: HealthAggregator | None = None) -> Generator:
         """Poll every device and roll the fleet up into one report.
 
         Telemetry queries travel the ISC wire concurrently (they cost
         simulated time like any admin command); SMART pages are read
-        straight off each controller.  When the fleet was built with an
-        enabled metrics registry, minion-latency percentiles come from the
-        client round-trip histogram — callers without metrics can feed
-        latencies into their own :class:`HealthAggregator` first.
+        straight off each controller.  Devices that don't answer — crashed,
+        mid-recovery — are reported as unreachable rather than failing the
+        poll, and fleet-level recovery counters (retries, failovers, lost
+        minions, open breakers) are folded in, so degraded operation is
+        visible in one place.
 
         Returns the :class:`FleetHealth` summary.
         """
         aggregator = aggregator if aggregator is not None else HealthAggregator()
-        snapshots = yield from self.telemetry()
+        snapshots = yield from self.telemetry(return_exceptions=True)
         for (node_index, device), snap in sorted(snapshots.items()):
-            node = self.nodes[node_index]
-            ssd = next(s for s in node.compstors if s.name == device)
+            if isinstance(snap, Exception):
+                aggregator.observe_unreachable(node_index, device)
+                continue
+            ssd = self._ssd(node_index, device)
             aggregator.observe_device(
                 node_index, device, snap, smart=ssd.controller.smart_log()
             )
+        aggregator.observe_recovery(
+            retries=sum(node.client.retries for node in self.nodes),
+            failovers=self.failovers_total,
+            host_fallbacks=self.host_fallbacks_total,
+            lost_minions=self.lost_total,
+            breakers_open=self.breakers_open(),
+        )
         if self.metrics.enabled and "client.minion.round_trip_seconds" in self.metrics:
             aggregator.observe_latency_histogram(
                 self.metrics["client.minion.round_trip_seconds"]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Generator, Iterable, Sequence
 
+from repro.faults.retry import BreakerConfig, RetryPolicy
 from repro.flash import FlashGeometry
 from repro.ftl import FtlConfig
 from repro.host import HostServer, InSituClient
@@ -66,6 +67,8 @@ class StorageNode:
         uplink_lanes: int = 16,
         endpoint_lanes: int = 4,
         metrics: MetricsRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_config: BreakerConfig | None = None,
     ) -> "StorageNode":
         if devices < 1:
             raise ValueError("need at least one CompStor")
@@ -114,7 +117,13 @@ class StorageNode:
         host = HostServer(sim, meter=meter, tracer=tracer)
         if baseline is not None:
             host.mount(baseline.controller)
-        client = InSituClient(sim, tracer=tracer, metrics=metrics)
+        client = InSituClient(
+            sim,
+            tracer=tracer,
+            metrics=metrics,
+            retry_policy=retry_policy,
+            breaker_config=breaker_config,
+        )
         for ssd in compstors:
             client.attach(ssd.controller)
         return cls(sim, host, fabric, compstors, client, meter, baseline_ssd=baseline)

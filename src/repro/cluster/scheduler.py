@@ -45,15 +45,29 @@ class RoundRobinBalancer:
 
 
 class LeastLoadedBalancer:
-    """Query telemetry and pick the least-loaded device."""
+    """Query telemetry and pick the least-loaded device.
+
+    Health-aware: crashed devices (no telemetry answer) and devices fenced
+    off by an open circuit breaker are excluded, and the load score itself
+    penalises devices with a history of killed/aborted minions — degraded
+    hardware stops winning placements.
+    """
 
     name = "least-loaded"
 
     def pick(self, client: InSituClient) -> Generator:
-        statuses = yield from client.status_all()
+        statuses = yield from client.status_all(return_exceptions=True)
         if not statuses:
             raise ValueError("no devices attached")
-        return min(statuses, key=lambda name: (statuses[name].load_score(), name))
+        usable = {
+            name: snap
+            for name, snap in statuses.items()
+            if not isinstance(snap, Exception)
+            and client.breaker_state(name) != "open"
+        }
+        if not usable:
+            raise ValueError("no reachable devices (all crashed or fenced off)")
+        return min(usable, key=lambda name: (usable[name].load_score(), name))
 
 
 class MinionDispatcher:
@@ -73,11 +87,15 @@ class MinionDispatcher:
             "cluster.placements", "placement decisions, by device and policy"
         )
 
-    def submit_all(self, commands: Sequence[Command]) -> Generator:
+    def submit_all(
+        self, commands: Sequence[Command], return_exceptions: bool = False
+    ) -> Generator:
         """Place and launch every command concurrently; gather responses.
 
         Placement decisions are made sequentially (telemetry queries are
-        cheap) but execution overlaps.
+        cheap) but execution overlaps.  With ``return_exceptions=True``
+        each failed delivery yields its :class:`InSituError` in-slot
+        instead of destroying the batch.
         """
         procs = []
         for command in commands:
@@ -85,12 +103,15 @@ class MinionDispatcher:
             self.placements.append((device, command.command_line or "<script>"))
             if self.metrics.enabled:
                 self._m_placements.inc(device=device, policy=self.balancer.name)
-            procs.append(
-                self.client.sim.process(
-                    self.client.send_minion(device, command), name=f"dispatch->{device}"
-                )
+            body = (
+                self.client._send_collect(device, command)
+                if return_exceptions
+                else self.client.send_minion(device, command)
             )
+            procs.append(self.client.sim.process(body, name=f"dispatch->{device}"))
         results = yield self.client.sim.all_of(procs)
+        if return_exceptions:
+            return [results[p] for p in procs]
         minions = [results[p] for p in procs]
         return [m.response for m in minions]
 

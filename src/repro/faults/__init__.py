@@ -1,0 +1,46 @@
+"""Deterministic fault injection and the recovery policy vocabulary.
+
+At fleet scale device failure is the common case, not the exception — the
+paper's scaling argument (hundreds of CompStor nodes, thousands of
+concurrent minions) only holds if the host stack survives losing drives
+mid-job.  This package supplies both halves of proving that:
+
+- the *chaos* side — :class:`FaultPlan` (a pure, seed-driven schedule of
+  device crashes, agent crashes, transient NVMe windows and limping
+  devices) and :class:`FaultInjector` (executes a plan against live
+  devices on simulation time);
+- the *recovery* side — :class:`RetryPolicy` and :class:`CircuitBreaker`,
+  consumed by :class:`~repro.host.insitu.InSituClient` and the fleet's
+  failover path.
+
+Everything is deterministic: plans are pure functions of their seed, fault
+RNG draws come from dedicated simulator streams, and retry jitter is only
+drawn when a retry happens — so a fault-free run is bit-identical to a
+build without this package.
+"""
+
+from repro.faults.state import AgentFaultState, AgentUnavailable, DeviceFaultState
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.retry import (
+    BreakerConfig,
+    CircuitBreaker,
+    RetryPolicy,
+    completion_retryable,
+    response_retryable,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "AgentFaultState",
+    "AgentUnavailable",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "DeviceFaultState",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "RetryPolicy",
+    "completion_retryable",
+    "response_retryable",
+]

@@ -1,0 +1,171 @@
+"""Host-side recovery policy: retries with backoff and circuit breakers.
+
+Classification first: a failure is worth retrying only when the *transport*
+failed (device crash window, transient NVMe error, agent restarting, minion
+aborted by an infrastructure kill).  A minion whose executable ``CRASHED``
+or was ``TIMEOUT``-killed by the watchdog produced a real outcome —
+retrying would reproduce it, so those are final.
+
+Statuses are matched by name so this module stays import-light (the NVMe
+and proto layers are below the fault layer in the dependency order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "completion_retryable",
+    "response_retryable",
+]
+
+#: NVMe completion statuses that mean "the transport hiccuped, try again".
+RETRYABLE_COMPLETION_STATUSES = frozenset(
+    {"TRANSIENT", "DEVICE_UNAVAILABLE", "ISC_AGENT_DOWN"}
+)
+
+#: Response statuses that mean "infrastructure killed the minion, not its code".
+RETRYABLE_RESPONSE_STATUSES = frozenset({"aborted"})
+
+
+def completion_retryable(status: Any) -> bool:
+    """Is this NVMe completion status a retryable transport fault?"""
+    return getattr(status, "name", str(status)) in RETRYABLE_COMPLETION_STATUSES
+
+
+def response_retryable(status: Any) -> bool:
+    """Is this minion response status a retryable infrastructure abort?
+
+    ``CRASHED``/``TIMEOUT``/``REJECTED``/``APP_ERROR`` are deliberate
+    non-members: the minion ran and its outcome is the answer.
+    """
+    return getattr(status, "value", str(status)) in RETRYABLE_RESPONSE_STATUSES
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter and a per-minion deadline.
+
+    ``backoff`` draws jitter from the caller-supplied RNG (a named
+    ``Simulator.rng`` stream), so retry timing is reproducible from the
+    simulation seed and is only consumed when a retry actually happens —
+    fault-free schedules stay bit-identical.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 200e-6
+    multiplier: float = 2.0
+    max_delay: float = 10e-3
+    jitter: float = 0.25  # +/- fraction of the raw backoff
+    deadline: float = 1.0  # per-minion budget in simulated seconds
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay <= 0 or self.max_delay <= 0:
+            raise ValueError("backoff delays must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+    def backoff(self, attempt: int, rng: Any = None) -> float:
+        """Delay before retry number ``attempt`` (1 = first retry)."""
+        if attempt < 1:
+            raise ValueError("attempt counts from 1")
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter and rng is not None:
+            raw *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return raw
+
+
+@dataclass(frozen=True, slots=True)
+class BreakerConfig:
+    """Tuning for per-device circuit breakers."""
+
+    failure_threshold: int = 5  # consecutive failures before opening
+    cooldown: float = 10e-3  # open -> half-open delay (simulated seconds)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+
+
+class CircuitBreaker:
+    """Classic closed -> open -> half-open breaker on simulation time.
+
+    Open means fail-fast: the client stops putting commands on the wire to
+    a device that keeps failing, so fan-outs stop paying per-attempt
+    latency for a dead drive.  After ``cooldown`` one probe is let through
+    (half-open); its outcome closes or re-opens the breaker.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        on_transition: Callable[[str, str], None] | None = None,
+    ):
+        self.config = config if config is not None else BreakerConfig()
+        self.on_transition = on_transition
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self._probing = False
+        self.transitions: list[tuple[float, str]] = []
+        self.fast_fails = 0
+
+    def _move(self, now: float, state: str) -> None:
+        if state == self.state:
+            return
+        previous, self.state = self.state, state
+        self.transitions.append((now, state))
+        if self.on_transition is not None:
+            self.on_transition(previous, state)
+
+    def allow(self, now: float) -> bool:
+        """May a command be sent now?  (Half-open admits one probe.)"""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if now - self.opened_at >= self.config.cooldown:
+                self._move(now, self.HALF_OPEN)
+                self._probing = True
+                return True
+            self.fast_fails += 1
+            return False
+        if not self._probing:
+            self._probing = True
+            return True
+        self.fast_fails += 1
+        return False
+
+    def record_success(self, now: float) -> None:
+        self.consecutive_failures = 0
+        self._probing = False
+        if self.state != self.CLOSED:
+            self._move(now, self.CLOSED)
+
+    def record_failure(self, now: float) -> None:
+        self._probing = False
+        if self.state == self.HALF_OPEN:
+            self.opened_at = now
+            self._move(now, self.OPEN)
+            return
+        self.consecutive_failures += 1
+        if self.state == self.CLOSED and (
+            self.consecutive_failures >= self.config.failure_threshold
+        ):
+            self.opened_at = now
+            self._move(now, self.OPEN)

@@ -8,7 +8,7 @@
   need no modification (contrast with rewrite-the-app frameworks).
 """
 
-from repro.host.insitu import InSituClient
+from repro.host.insitu import BreakerOpen, InSituClient, InSituError
 from repro.host.server import HostServer
 
-__all__ = ["HostServer", "InSituClient"]
+__all__ = ["BreakerOpen", "HostServer", "InSituClient", "InSituError"]

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from repro.faults.state import FAULT_CAUSE_PREFIX, AgentUnavailable
 from repro.isos.process import ProcessState
 from repro.isps.subsystem import InSituProcessingSubsystem
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
@@ -55,6 +56,10 @@ class IspsAgent:
         self.queries_served = 0
         self.active_minions = 0
         self.watchdog_kills = 0
+        self.minions_aborted = 0
+        #: Fault hook (``repro.faults.AgentFaultState``), installed lazily
+        #: by a FaultInjector; ``None`` costs one attribute test per dispatch.
+        self.faults = None
         self.metrics = metrics if metrics is not None else NULL_METRICS
         m = self.metrics
         self._m_minions = m.counter(
@@ -78,6 +83,9 @@ class IspsAgent:
     # -- NVMe ISC dispatch ---------------------------------------------------
     def handle(self, opcode: Opcode, body: Any) -> Generator:
         """Entry point registered with :meth:`NvmeController.register_isc_handler`."""
+        if self.faults is not None and self.faults.down:
+            # daemon dead: the controller converts this into ISC_AGENT_DOWN
+            raise AgentUnavailable(f"{self.device_name}: agent daemon is down")
         if opcode == Opcode.ISC_MINION:
             if not isinstance(body, Minion):
                 raise TypeError(f"ISC_MINION payload must be a Minion, got {type(body)}")
@@ -192,7 +200,15 @@ class IspsAgent:
             return Response(
                 status=ResponseStatus.REJECTED, exit_code=-1, stdout=str(exc).encode()
             )
-        except Interrupt:
+        except Interrupt as exc:
+            cause = str(exc.cause or "")
+            if cause.startswith(FAULT_CAUSE_PREFIX):
+                # infrastructure death (device/agent crash), not a verdict on
+                # the minion itself — retryable, unlike the watchdog kill
+                self.minions_aborted += 1
+                return Response(
+                    status=ResponseStatus.ABORTED, exit_code=-1, stdout=cause.encode()
+                )
             return Response(
                 status=ResponseStatus.TIMEOUT,
                 exit_code=-1,
@@ -277,4 +293,7 @@ class IspsAgent:
             active_minions=self.active_minions,
             uptime=os_.uptime(),
             free_bytes=os_.fs.free_bytes,
+            watchdog_kills=self.watchdog_kills,
+            minions_aborted=self.minions_aborted,
+            agent_restarts=self.faults.restarts if self.faults is not None else 0,
         )

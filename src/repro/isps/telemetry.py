@@ -24,11 +24,23 @@ class TelemetrySnapshot:
     active_minions: int
     uptime: float
     free_bytes: int
+    #: Degradation history (PR 2): runaway tasks the watchdog killed,
+    #: minions lost to device/agent death, and supervised agent restarts.
+    watchdog_kills: int = 0
+    minions_aborted: int = 0
+    agent_restarts: int = 0
 
     def load_score(self) -> float:
         """Scalar used by load balancers (higher = busier).
 
         Active minions dominate; utilisation breaks ties between devices
-        with equal queue depth.
+        with equal queue depth.  A degradation penalty steers placeable
+        work away from devices with a history of killing or losing work —
+        a limping drive should not win ties against a healthy one.
         """
-        return self.active_minions + self.core_utilization
+        penalty = (
+            0.25 * self.watchdog_kills
+            + 0.5 * self.minions_aborted
+            + 1.0 * self.agent_restarts
+        )
+        return self.active_minions + self.core_utilization + penalty

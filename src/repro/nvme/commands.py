@@ -47,7 +47,10 @@ class Status(IntEnum):
     LBA_OUT_OF_RANGE = 0x80
     MEDIA_ERROR = 0x81
     CAPACITY_EXCEEDED = 0x82
+    DEVICE_UNAVAILABLE = 0x83  # controller crashed/unreachable (retryable)
+    TRANSIENT = 0x84  # injected transient transport failure (retryable)
     ISC_FAILURE = 0xC0
+    ISC_AGENT_DOWN = 0xC2  # ISPS agent daemon down, restart pending (retryable)
 
 
 class NvmeError(Exception):

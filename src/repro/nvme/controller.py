@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator
 
+from repro.faults.state import AgentUnavailable
 from repro.ftl import FlashTranslationLayer, LogicalIOError
 from repro.nvme.commands import NvmeCommand, NvmeCompletion, Opcode, Status
 from repro.nvme.queues import QueuePair
@@ -90,6 +91,9 @@ class NvmeController:
             QueuePair(sim, qid=q, depth=queue_depth, name=f"{name}.qp") for q in range(queue_pairs)
         ]
         self._isc_handler: IscHandler | None = None
+        #: Fault hook (``repro.faults.DeviceFaultState``), installed lazily
+        #: by a FaultInjector; ``None`` costs one attribute test per command.
+        self.faults = None
         self.commands_executed = 0
         self.isc_commands = 0
         # per-opcode latency accounting (count, total, max) for QoS reporting
@@ -123,12 +127,40 @@ class NvmeController:
                     qp.outstanding, device=self.name, queue=qp.qid,
                     opcode=command.opcode.name,
                 )
+            refusal = self.faults.intercept() if self.faults is not None else None
+            if refusal is not None:
+                # a crashed/flaky front end aborts immediately: the host
+                # driver's view of a dead drive is a fast failed completion
+                completion = NvmeCompletion(
+                    cid=command.cid,
+                    status=Status[refusal],
+                    result=None,
+                    submitted_at=submitted_at,
+                    completed_at=self.sim.now,
+                )
+                if self.metrics.enabled:
+                    self._m_commands.inc(
+                        device=self.name, opcode=command.opcode.name,
+                        status=completion.status.name,
+                    )
+                self.tracer.emit(
+                    self.sim.now, self.name, "nvme.refused",
+                    opcode=command.opcode.name, status=completion.status.name,
+                )
+                yield from qp.post(completion)
+                continue
             if self.firmware_cluster is not None:
                 # shared-core design: command processing competes with ISC
                 yield from self.firmware_cluster.execute(self.firmware_cycles)
+            elif self.faults is not None and self.faults.limp_factor != 1.0:
+                yield self.sim.timeout(self.firmware_latency * self.faults.limp_factor)
             else:
                 yield self.sim.timeout(self.firmware_latency)
             status, result = yield from self._execute(command)
+            if self.faults is not None and self.faults.crashed:
+                # the device died while this command was in flight: whatever
+                # the back end produced never reaches the completion queue
+                status, result = Status.DEVICE_UNAVAILABLE, None
             completion = NvmeCompletion(
                 cid=command.cid,
                 status=status,
@@ -234,6 +266,11 @@ class NvmeController:
             body.span = span.context
         try:
             result = yield from self._isc_handler(command.opcode, body)
+        except AgentUnavailable:
+            if span is not None:
+                span.end(status="ISC_AGENT_DOWN")
+                body.span = parent_ctx
+            return Status.ISC_AGENT_DOWN, None
         except Exception:
             if span is not None:
                 span.end(status="ISC_FAILURE")

@@ -57,12 +57,37 @@ class FleetHealth:
     max_percentage_used: int
     max_write_amplification: float
     gc_collections: int
+    #: Fault/recovery accounting (PR 2): how much trouble the fleet has
+    #: absorbed, and where it is still degraded right now.
+    watchdog_kills: int = 0
+    minions_aborted: int = 0
+    agent_restarts: int = 0
+    retries: int = 0
+    failovers: int = 0
+    host_fallbacks: int = 0
+    lost_minions: int = 0
+    unreachable_devices: tuple[str, ...] = ()
+    breakers_open: tuple[str, ...] = ()
     alerts: tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """Is any device currently unreachable or fenced off by a breaker?"""
+        return bool(self.unreachable_devices or self.breakers_open)
 
     def rows(self) -> list[list[Any]]:
         """``[attribute, value]`` rows for table rendering."""
         return [
             ["nodes / devices", f"{self.nodes} / {self.devices}"],
+            ["unreachable devices",
+             ", ".join(self.unreachable_devices) if self.unreachable_devices else "none"],
+            ["breakers open",
+             ", ".join(self.breakers_open) if self.breakers_open else "none"],
+            ["retries / failovers / host fallbacks",
+             f"{self.retries} / {self.failovers} / {self.host_fallbacks}"],
+            ["watchdog kills / aborted / agent restarts",
+             f"{self.watchdog_kills} / {self.minions_aborted} / {self.agent_restarts}"],
+            ["lost minions", self.lost_minions],
             ["active minions", self.active_minions],
             ["running processes", self.running_processes],
             ["utilization mean / max", f"{self.mean_utilization * 100:.1f}% / {self.max_utilization * 100:.1f}%"],
@@ -108,6 +133,11 @@ class HealthAggregator:
         self._latencies: list[float] = []
         self._histogram_percentiles: tuple[float, float, float] | None = None
         self._histogram_samples = 0
+        self._unreachable: dict[tuple[int, str], None] = {}
+        self._recovery: dict[str, int] = {
+            "retries": 0, "failovers": 0, "host_fallbacks": 0, "lost_minions": 0
+        }
+        self._breakers_open: tuple[str, ...] = ()
 
     # -- feeding ------------------------------------------------------------
     def observe_device(
@@ -123,6 +153,32 @@ class HealthAggregator:
         aggregator can be polled across a run.
         """
         self._devices[(node, device)] = _DeviceHealth(node, device, snapshot, smart)
+        self._unreachable.pop((node, device), None)
+
+    def observe_unreachable(self, node: int, device: str) -> None:
+        """Record a device that did not answer its telemetry query.
+
+        Unreachable devices stay in the report (as alerts and in
+        ``unreachable_devices``) instead of poisoning the whole poll —
+        a degraded fleet still has health.
+        """
+        self._unreachable[(node, device)] = None
+        self._devices.pop((node, device), None)
+
+    def observe_recovery(
+        self,
+        retries: int = 0,
+        failovers: int = 0,
+        host_fallbacks: int = 0,
+        lost_minions: int = 0,
+        breakers_open: tuple[str, ...] = (),
+    ) -> None:
+        """Fold fleet-level recovery counters into the next summary."""
+        self._recovery["retries"] = retries
+        self._recovery["failovers"] = failovers
+        self._recovery["host_fallbacks"] = host_fallbacks
+        self._recovery["lost_minions"] = lost_minions
+        self._breakers_open = tuple(breakers_open)
 
     def observe_minion_latency(self, seconds: float) -> None:
         self._latencies.append(seconds)
@@ -144,8 +200,39 @@ class HealthAggregator:
 
     # -- rollup -------------------------------------------------------------
     def summary(self) -> FleetHealth:
-        if not self._devices:
+        if not self._devices and not self._unreachable:
             raise ValueError("no device observations to summarise")
+        if not self._devices:
+            # every device is down: still report, with zeros and loud alerts
+            unreachable = tuple(f"node{n}/{d}" for n, d in sorted(self._unreachable))
+            return FleetHealth(
+                time=0.0,
+                nodes=len({n for n, _ in self._unreachable}),
+                devices=0,
+                active_minions=0,
+                running_processes=0,
+                mean_utilization=0.0,
+                max_utilization=0.0,
+                per_node_utilization={},
+                max_temperature_c=0.0,
+                total_free_bytes=0,
+                minion_latency_p50=0.0,
+                minion_latency_p95=0.0,
+                minion_latency_p99=0.0,
+                minion_latency_samples=0,
+                grown_bad_blocks=0,
+                media_errors=0,
+                max_percentage_used=0,
+                max_write_amplification=0.0,
+                gc_collections=0,
+                retries=self._recovery["retries"],
+                failovers=self._recovery["failovers"],
+                host_fallbacks=self._recovery["host_fallbacks"],
+                lost_minions=self._recovery["lost_minions"],
+                unreachable_devices=unreachable,
+                breakers_open=self._breakers_open,
+                alerts=tuple(f"{tag}: unreachable" for tag in unreachable),
+            )
         snaps = list(self._devices.values())
         utilizations = [d.snapshot.core_utilization for d in snaps]
         per_node: dict[int, list[float]] = defaultdict(list)
@@ -174,7 +261,12 @@ class HealthAggregator:
             n_samples = 0
 
         max_temp = max(d.snapshot.temperature_c for d in snaps)
-        alerts: list[str] = []
+        unreachable = tuple(f"node{n}/{d}" for n, d in sorted(self._unreachable))
+        alerts: list[str] = [f"{tag}: unreachable" for tag in unreachable]
+        for device in self._breakers_open:
+            alerts.append(f"{device}: circuit breaker open")
+        if self._recovery["lost_minions"]:
+            alerts.append(f"{self._recovery['lost_minions']} minions lost (no surviving replica)")
         for d in snaps:
             tag = f"node{d.node}/{d.device}"
             if d.snapshot.core_utilization >= self.utilization_warn:
@@ -206,5 +298,14 @@ class HealthAggregator:
             max_percentage_used=pct_used,
             max_write_amplification=max_wa,
             gc_collections=gc_collections,
+            watchdog_kills=sum(getattr(d.snapshot, "watchdog_kills", 0) for d in snaps),
+            minions_aborted=sum(getattr(d.snapshot, "minions_aborted", 0) for d in snaps),
+            agent_restarts=sum(getattr(d.snapshot, "agent_restarts", 0) for d in snaps),
+            retries=self._recovery["retries"],
+            failovers=self._recovery["failovers"],
+            host_fallbacks=self._recovery["host_fallbacks"],
+            lost_minions=self._recovery["lost_minions"],
+            unreachable_devices=unreachable,
+            breakers_open=self._breakers_open,
             alerts=tuple(alerts),
         )

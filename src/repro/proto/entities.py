@@ -64,6 +64,7 @@ class ResponseStatus(Enum):
     REJECTED = "rejected"  # agent refused (missing input, unknown binary)
     CRASHED = "crashed"  # executable raised
     TIMEOUT = "timeout"  # agent watchdog killed the task
+    ABORTED = "aborted"  # infrastructure killed the task (device/agent death)
 
 
 @dataclass(slots=True)

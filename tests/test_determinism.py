@@ -4,7 +4,8 @@ For a simulator this is a headline feature — every number in
 EXPERIMENTS.md must be reproducible from ``(seed, model, workload)``.
 """
 
-from repro.cluster import StorageNode
+from repro.cluster import StorageFleet, StorageNode
+from repro.faults import BreakerConfig, FaultInjector, FaultPlan, RetryPolicy
 from repro.proto import Command
 from repro.workloads import BookCorpus, CorpusSpec
 
@@ -65,3 +66,58 @@ def test_corpus_generation_independent_of_simulator():
     a = BookCorpus(CorpusSpec(files=2, seed=7)).generate()
     b = BookCorpus(CorpusSpec(files=2, seed=7)).generate()
     assert [x.plain for x in a] == [y.plain for y in b]
+
+
+def run_chaos_once(seed):
+    """A replicated fleet job under a fixed fault plan: crash + transients.
+
+    Everything the run produces — the plan digest, the injector's applied
+    log, every response status, the recovery accounting, the finish time —
+    must be a pure function of the seed.
+    """
+    fleet = StorageFleet.build(
+        nodes=2,
+        devices_per_node=2,
+        seed=seed,
+        device_capacity=24 * 1024 * 1024,
+        retry_policy=RetryPolicy(),
+        breaker_config=BreakerConfig(),
+    )
+    sim = fleet.sim
+    books = BookCorpus(CorpusSpec(files=6, mean_file_bytes=16 * 1024, seed=seed)).generate()
+    sim.run(sim.process(fleet.stage_corpus(books, replicas=2)))
+    ring = fleet.device_ring()
+    plan = (
+        FaultPlan(seed=seed)
+        .kill_device(*ring[1], at=sim.now + 2e-4, recover_after=2e-3)
+        .transient_window(*ring[2], at=sim.now, duration=1e-3, fraction=0.5)
+    )
+    injector = FaultInjector.for_fleet(fleet, plan).start()
+
+    def job():
+        return (yield from fleet.run_job(
+            books, lambda b: Command(command_line=f"grep xylophone {b.name}")
+        ))
+
+    report = sim.run(sim.process(job()))
+    return {
+        "fingerprint": plan.fingerprint(),
+        "applied": tuple(injector.applied),
+        "finished_at": sim.now,
+        "statuses": tuple(
+            None if r is None else r.status.value for r in report.responses
+        ),
+        "stdout": tuple(None if r is None else r.stdout for r in report.responses),
+        "accounting": (
+            report.dispatched, report.completed, report.recovered, report.lost,
+            report.retries, report.failovers, report.host_fallbacks,
+        ),
+    }
+
+
+def test_chaos_same_seed_bit_identical():
+    """Faults, retries, backoff jitter, failover — all replayable."""
+    a = run_chaos_once(seed=5)
+    b = run_chaos_once(seed=5)
+    assert a == b
+    assert a["accounting"][0] == sum(a["accounting"][1:3]) + len(a["accounting"][3])
