@@ -10,9 +10,15 @@ from typing import Any
 from repro.isos.loader import ExitStatus
 from repro.sim.core import Process
 
-__all__ = ["OsProcess", "ProcessState"]
+__all__ = ["OsProcess", "ProcessState", "reset_ids"]
 
 _pid_counter = itertools.count(100)
+
+
+def reset_ids() -> None:
+    """Restart PID allocation (fresh-process state; see proto.entities)."""
+    global _pid_counter
+    _pid_counter = itertools.count(100)
 
 
 class ProcessState(Enum):

@@ -12,9 +12,18 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any
 
-__all__ = ["IscPayload", "NvmeCommand", "NvmeCompletion", "NvmeError", "Opcode", "Status"]
+__all__ = [
+    "IscPayload", "NvmeCommand", "NvmeCompletion", "NvmeError", "Opcode",
+    "Status", "reset_ids",
+]
 
 _cid_counter = itertools.count(1)
+
+
+def reset_ids() -> None:
+    """Restart CID allocation (fresh-process state; see proto.entities)."""
+    global _cid_counter
+    _cid_counter = itertools.count(1)
 
 
 class Opcode(IntEnum):

@@ -17,10 +17,26 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
-__all__ = ["Command", "Minion", "Query", "QueryKind", "Response", "ResponseStatus"]
+__all__ = [
+    "Command", "Minion", "Query", "QueryKind", "Response", "ResponseStatus",
+    "reset_ids",
+]
 
 _minion_ids = itertools.count(1)
 _query_ids = itertools.count(1)
+
+
+def reset_ids() -> None:
+    """Restart minion/query ID allocation (fresh-process state).
+
+    IDs are process-global (they tag trace payloads and responses), so a
+    scenario's IDs depend on what ran earlier in the process.  Hermetic
+    scenarios — golden-schedule digests, determinism A/B comparisons —
+    reset allocation first so a run is a pure function of (seed, model).
+    """
+    global _minion_ids, _query_ids
+    _minion_ids = itertools.count(1)
+    _query_ids = itertools.count(1)
 
 
 @dataclass(frozen=True, slots=True)

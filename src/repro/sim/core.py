@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import zlib
 from collections.abc import Callable, Generator, Iterable
 from typing import Any
 
@@ -379,12 +380,19 @@ class Simulator:
         return self._active
 
     def rng(self, stream: str) -> np.random.Generator:
-        """A named, deterministic random stream (stable across runs)."""
+        """A named, deterministic random stream (stable across runs).
+
+        The stream name is folded into the spawn key with :func:`zlib.crc32`
+        — a *stable* hash.  Python's builtin ``hash(str)`` is salted per
+        process (PYTHONHASHSEED), which would silently give every process
+        its own random streams and break cross-run reproducibility.
+        """
         gen = self._rngs.get(stream)
         if gen is None:
             root = np.random.SeedSequence(self._seed)
             child = np.random.SeedSequence(
-                entropy=root.entropy, spawn_key=(hash(stream) & 0x7FFFFFFF,)
+                entropy=root.entropy,
+                spawn_key=(zlib.crc32(stream.encode()) & 0x7FFFFFFF,),
             )
             gen = np.random.default_rng(child)
             self._rngs[stream] = gen

@@ -1,0 +1,28 @@
+"""Hermetic-run helpers for tests and reproducibility tooling.
+
+The model keeps a few process-global ID allocators (minion/query IDs,
+PIDs, NVMe CIDs) whose values end up in trace payloads and responses.
+They make IDs unique across every simulator in a process, but they also
+make a scenario's observable output depend on what ran *earlier* in the
+process — which breaks digest-style comparisons across runs.
+
+:func:`reset_global_ids` restores fresh-process allocation state.  The
+test suite applies it before every test (``tests/conftest.py``), and the
+golden-schedule scenarios call it directly so their digests are a pure
+function of ``(seed, model)`` no matter who runs them.
+"""
+
+from __future__ import annotations
+
+__all__ = ["reset_global_ids"]
+
+
+def reset_global_ids() -> None:
+    """Restart every process-global ID allocator (fresh-process state)."""
+    from repro.isos import process as isos_process
+    from repro.nvme import commands as nvme_commands
+    from repro.proto import entities
+
+    entities.reset_ids()
+    isos_process.reset_ids()
+    nvme_commands.reset_ids()

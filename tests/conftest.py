@@ -3,9 +3,17 @@
 Hypothesis runs derandomized so the whole suite — including the
 property-based tests — is reproducible run to run, matching the simulator's
 own determinism guarantees.
+
+Every test also starts from fresh-process ID-allocation state (minion IDs,
+PIDs, NVMe CIDs): the allocators are process-global, so without the reset a
+test's observable IDs — and anything hashed over them, like the golden
+schedule digests — would depend on suite order.
 """
 
+import pytest
 from hypothesis import HealthCheck, settings
+
+from repro.testing import reset_global_ids
 
 settings.register_profile(
     "repro",
@@ -14,3 +22,8 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_global_ids():
+    reset_global_ids()

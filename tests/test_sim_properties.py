@@ -1,0 +1,162 @@
+"""Property-based tests for the simulation kernel's ordering invariants.
+
+The hot-path optimization work (pre-bound heap functions, inlined dispatch
+loops, flattened constructors) must never change *what* the kernel computes,
+only how fast.  These properties pin the contract the golden-schedule tests
+observe end-to-end, at the kernel level where a violation is easiest to
+localise:
+
+* dispatch order is exactly ``(time, priority, sequence)`` — URGENT beats
+  NORMAL at the same timestamp, and insertion order breaks every remaining
+  tie (never object identity or heap internals);
+* ``AllOf`` fires at the latest constituent with every value collected;
+  ``AnyOf`` fires at the earliest constituent;
+* ``Resource`` grants are FIFO; ``PriorityResource`` grants are ordered by
+  ``(priority, arrival)``; ``Store`` preserves FIFO under any producer/
+  consumer interleaving.
+
+Hypothesis runs derandomized (see ``conftest.py``) so failures reproduce.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import PriorityResource, Resource, Simulator, Store
+from repro.sim.core import NORMAL, URGENT
+
+# Discrete microsecond-scale delays keep float arithmetic exact enough for
+# equality assertions while still exercising the heap across many orders.
+_TICK = 1e-6
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.sampled_from([URGENT, NORMAL])),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_dispatch_order_is_time_priority_sequence(entries):
+    """Events fire sorted by (time, priority), FIFO within a tie."""
+    sim = Simulator()
+    fired: list[int] = []
+    for idx, (ticks, priority) in enumerate(entries):
+        ev = sim.event(name=f"e{idx}")
+        ev.callbacks.append(lambda _ev, i=idx: fired.append(i))
+        sim._schedule(ev, ticks * _TICK, priority)
+    sim.run()
+    expected = [
+        idx
+        for idx, _ in sorted(
+            enumerate(entries), key=lambda item: (item[1][0], item[1][1], item[0])
+        )
+    ]
+    assert fired == expected
+
+
+@given(st.lists(st.integers(0, 1000), min_size=0, max_size=15))
+def test_all_of_gathers_every_value_at_latest_delay(ticks):
+    sim = Simulator()
+    delays = [t * _TICK for t in ticks]
+
+    def job():
+        timeouts = [sim.timeout(d, value=i) for i, d in enumerate(delays)]
+        result = yield sim.all_of(timeouts)
+        assert sim.now == max(delays, default=0.0)
+        assert [result[t] for t in timeouts] == list(range(len(timeouts)))
+        return True
+
+    assert sim.run(sim.process(job())) is True
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=15))
+def test_any_of_fires_at_earliest_delay(ticks):
+    sim = Simulator()
+    delays = [t * _TICK for t in ticks]
+
+    def job():
+        timeouts = [sim.timeout(d, value=i) for i, d in enumerate(delays)]
+        result = yield sim.any_of(timeouts)
+        winner = min(range(len(delays)), key=lambda i: (delays[i], i))
+        assert sim.now == delays[winner]
+        assert timeouts[winner] in result
+        assert result[timeouts[winner]] == winner
+        return True
+
+    assert sim.run(sim.process(job())) is True
+
+
+@given(st.lists(st.integers(1, 100), min_size=1, max_size=20))
+def test_resource_grants_are_fifo(hold_ticks):
+    """Capacity-1 resource: service order equals request order."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    grants: list[int] = []
+
+    def worker(i: int, hold: float):
+        with res.request() as req:
+            yield req
+            grants.append(i)
+            yield sim.timeout(hold)
+
+    for i, ticks in enumerate(hold_ticks):
+        sim.process(worker(i, ticks * _TICK))
+    sim.run()
+    assert grants == list(range(len(hold_ticks)))
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(1, 100)),
+        min_size=2,
+        max_size=20,
+    )
+)
+def test_priority_resource_orders_by_priority_then_arrival(requests):
+    """All requests arrive together: the first is granted immediately, the
+    rest are served by (priority, arrival order)."""
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    grants: list[int] = []
+
+    def worker(i: int, priority: int, hold: float):
+        with res.request(priority=priority) as req:
+            yield req
+            grants.append(i)
+            yield sim.timeout(hold)
+
+    for i, (priority, ticks) in enumerate(requests):
+        sim.process(worker(i, priority, ticks * _TICK))
+    sim.run()
+    queued = sorted(range(1, len(requests)), key=lambda i: (requests[i][0], i))
+    assert grants == [0] + queued
+
+
+@given(
+    st.lists(st.integers(0, 5), min_size=1, max_size=12),
+    st.lists(st.integers(0, 5), min_size=1, max_size=12),
+)
+def test_store_preserves_fifo_under_interleaving(put_gaps, get_gaps):
+    sim = Simulator()
+    store = Store(sim)
+    n = len(put_gaps)
+    got: list[int] = []
+
+    def producer():
+        for i, gap in enumerate(put_gaps):
+            yield sim.timeout(gap * _TICK)
+            yield store.put(i)
+
+    def consumer():
+        gaps = (get_gaps * (n // len(get_gaps) + 1))[:n]
+        for gap in gaps:
+            yield sim.timeout(gap * _TICK)
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == list(range(n))
