@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Interleaved A/B wall-clock measurement of the n8 scenario.
+
+Measures whichever source tree ``PYTHONPATH`` points at and prints one
+line: ``<label> <best wall ms>``.  Run it alternately against two trees
+(old, new, old, new ...) so both see the same host conditions; see
+``benchmarks/perf/README.md`` for the full protocol.
+
+The n8 scenario is inlined (rather than imported from
+``repro.analysis.perf``) so the script also runs against baseline trees
+that predate the perf harness — it only needs ``StorageNode``, ``Command``
+and ``BookCorpus``, which every revision has.
+
+Usage::
+
+    PYTHONPATH=/tmp/old/src python benchmarks/perf/ab_compare.py OLD [repeats]
+    PYTHONPATH=src          python benchmarks/perf/ab_compare.py NEW [repeats]
+"""
+
+from __future__ import annotations
+
+import sys
+import time  # wall-clock on purpose: this measures the host, not the model
+
+from repro.cluster.node import StorageNode
+from repro.proto.entities import Command
+from repro.workloads import BookCorpus, CorpusSpec
+
+DEVICES = 8
+FILES = 48  # 6 per device, matching the pinned n8 BenchScenario
+
+
+def build():
+    books = BookCorpus(
+        CorpusSpec(files=FILES, mean_file_bytes=64 * 1024, size_spread=0.2, seed=1234)
+    ).generate()
+    node = StorageNode.build(
+        devices=DEVICES, seed=1234, device_capacity=48 * 1024 * 1024
+    )
+    node.sim.run(node.sim.process(node.stage_corpus(books, compressed=False)))
+    return node, books
+
+
+def job(node, books):
+    placement = node.device_books(books)
+    gz = [
+        (device, Command(command_line=f"gzip {book.name}"))
+        for device, part in placement.items()
+        for book in part
+    ]
+    gr = [
+        (device, Command(command_line=f"grep xylophone {book.name}"))
+        for device, part in placement.items()
+        for book in part
+    ]
+    first = yield from node.client.gather(gz)
+    second = yield from node.client.gather(gr)
+    return first + second
+
+
+def main(argv: list[str]) -> int:
+    label = argv[0] if argv else "RUN"
+    repeats = int(argv[1]) if len(argv) > 1 else 3
+    best = float("inf")
+    for _ in range(repeats):
+        node, books = build()
+        sim = node.sim
+        t0 = time.perf_counter()
+        responses = sim.run(sim.process(job(node, books)))
+        wall = time.perf_counter() - t0
+        assert len(responses) == FILES * 2
+        best = min(best, wall)
+    print(f"{label} {best * 1e3:.1f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Run the pinned bench sweep without CLI plumbing (CI smoke entry point).
+
+Equivalent to ``python -m repro bench``; exists so the perf job can run a
+sweep and leave ``BENCH_sim.json`` in the workspace for artifact upload
+with one self-contained command::
+
+    PYTHONPATH=src python benchmarks/perf/run_sweep.py [scenario ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.perf import run_bench, write_bench_json
+
+
+def main(argv: list[str]) -> int:
+    names = argv or ["small", "n1", "n4", "n8"]
+    results = run_bench(names, repeat=3)
+    for r in results:
+        print(
+            f"{r.scenario:<8} devices={r.devices:<2} events={r.events:<7} "
+            f"wall={r.wall_seconds * 1e3:8.1f}ms  {r.events_per_sec:12,.0f} events/s"
+        )
+    path = write_bench_json(results)
+    print(f"baseline written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

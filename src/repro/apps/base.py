@@ -53,16 +53,19 @@ class StreamingApp:
         stream = ctx.stream_pages(path)
         total = 0
         pending = None
+        ra_name = self.name + ".ra"
         if not stream.exhausted:
-            pending = ctx.sim.process(stream.next_page(), name=f"{self.name}.ra")
+            pending = ctx.sim.process(stream.next_page(), name=ra_name)
         while pending is not None:
             chunk, take = yield pending
             pending = (
-                ctx.sim.process(stream.next_page(), name=f"{self.name}.ra")
+                ctx.sim.process(stream.next_page(), name=ra_name)
                 if not stream.exhausted
                 else None
             )
-            yield from charge(ctx, self.name, take)
+            # charge() inlined: one less generator frame for every event of
+            # every page's compute slice to bubble through.
+            yield from ctx.compute(cycles_for(self.name, ctx.isa, take))
             self.consume(ctx, chunk, take)
             total += take
         status = yield from self.finish(ctx, path, total)

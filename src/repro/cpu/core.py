@@ -77,10 +77,13 @@ class CpuCluster:
         self.cores = PriorityResource(sim, capacity=spec.cores, name=f"{name}.cores")
         self.cycles_executed = 0.0
         self.busy_seconds = 0.0
+        self._freq_hz = spec.freq_hz
 
     def execute(self, cycles: float, priority: int = 0) -> Generator:
         """Run ``cycles`` of work on one core; returns elapsed seconds."""
-        duration = self.spec.seconds_for_cycles(cycles)
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        duration = cycles / self._freq_hz
         start = self.sim.now
         with self.cores.request(priority=priority) as req:
             yield req

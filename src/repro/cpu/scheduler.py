@@ -25,10 +25,12 @@ class RunQueue:
         self.sim = sim
         self.cluster = cluster
         self.quantum = quantum
+        # quantum and spec are fixed after construction
+        self._quantum_cycles = quantum * cluster.spec.freq_hz
 
     @property
     def quantum_cycles(self) -> float:
-        return self.quantum * self.cluster.spec.freq_hz
+        return self._quantum_cycles
 
     def run_cycles(self, cycles: float, priority: int = 0) -> Generator:
         """Execute ``cycles`` in quantum slices; returns elapsed seconds."""
@@ -36,7 +38,7 @@ class RunQueue:
             raise ValueError("cycles must be non-negative")
         start = self.sim.now
         remaining = float(cycles)
-        q = self.quantum_cycles
+        q = self._quantum_cycles
         while remaining > 0:
             slice_cycles = min(remaining, q)
             yield from self.cluster.execute(slice_cycles, priority=priority)

@@ -121,6 +121,17 @@ class EccEngine:
         self.pages_encoded = 0
         self.bits_corrected = 0
         self.uncorrectable = 0
+        # page_size -> codeword count; the layout is frozen so the divmod
+        # (and its validation) only needs to run once per distinct size.
+        self._codewords_memo: dict[int, int] = {}
+
+    def _codewords(self, page_size: int) -> int:
+        n = self._codewords_memo.get(page_size)
+        if n is None:
+            n = self._codewords_memo[page_size] = self.config.layout.codewords_per_page(
+                page_size
+            )
+        return n
 
     def encode_page(self, page_size: int) -> Generator:
         """Generate parity for one page before programming (write path).
@@ -128,7 +139,7 @@ class EccEngine:
         Hardware LFSR pipelines make this cheap and error-free; the model
         charges the fixed pipeline latency and encode energy.
         """
-        self.config.layout.codewords_per_page(page_size)  # validates layout fit
+        self._codewords(page_size)  # validates layout fit
         yield self.sim.timeout(self.config.t_encode)
         if self.energy_sink is not None:
             self.energy_sink(self.name, self.config.e_encode_per_byte * page_size)
@@ -146,10 +157,27 @@ class EccEngine:
     def decode_page(self, page_size: int, raw_bit_errors: int) -> Generator:
         """Decode one page's codewords; returns :class:`DecodeOutcome`."""
         cfg = self.config
-        codewords = cfg.layout.codewords_per_page(page_size)
+        codewords = self._codewords(page_size)
+        if raw_bit_errors == 0:
+            # Fast path for the dominant error-free read: spread_errors
+            # would return all zeros without touching the RNG, so latency,
+            # energy and state updates below are byte-identical to the
+            # general path with every per-codeword count at zero.
+            yield self.sim.timeout(cfg.t_decode)
+            energy = cfg.e_per_byte * page_size
+            if self.energy_sink is not None:
+                self.energy_sink(self.name, energy)
+            self.pages_decoded += 1
+            return DecodeOutcome(
+                corrected_bits=0,
+                codewords=codewords,
+                latency=cfg.t_decode,
+                energy_j=energy,
+            )
         per_cw = self.spread_errors(raw_bit_errors, codewords)
         worst = int(per_cw.max()) if codewords else 0
-        latency = cfg.t_decode + cfg.t_per_correction * int(per_cw.sum())
+        total = int(per_cw.sum())
+        latency = cfg.t_decode + cfg.t_per_correction * total
         yield self.sim.timeout(latency)
 
         energy = cfg.e_per_byte * page_size
@@ -162,9 +190,9 @@ class EccEngine:
             bad = int(np.argmax(per_cw))
             raise UncorrectableError(bad, worst, cfg.capability)
 
-        self.bits_corrected += int(per_cw.sum())
+        self.bits_corrected += total
         return DecodeOutcome(
-            corrected_bits=int(per_cw.sum()),
+            corrected_bits=total,
             codewords=codewords,
             latency=latency,
             energy_j=energy,

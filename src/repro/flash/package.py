@@ -152,6 +152,12 @@ class FlashArray:
         self._oob: dict[int, Any] = {}
         self.stats = FlashStats()
         self._rng = sim.rng(f"{name}.ber")
+        # Per-geometry constants, hoisted out of the per-page operations:
+        # transfer time, energy and bit count depend only on the page size.
+        self._t_page_xfer = self.timing.transfer_time(geo.page_size)
+        self._page_bits = geo.page_size * 8
+        self._e_read_page = self.energy.e_read + self.energy.transfer_energy(geo.page_size)
+        self._e_prog_page = self.energy.e_prog + self.energy.transfer_energy(geo.page_size)
 
     # -- helpers ----------------------------------------------------------
     def _die_id(self, addr: PageAddress | BlockAddress) -> int:
@@ -191,21 +197,23 @@ class FlashArray:
             yield self.sim.timeout(self.timing.t_read)
         with bus.request() as breq:
             yield breq
-            yield self.sim.timeout(self.timing.transfer_time(geo.page_size))
+            yield self.sim.timeout(self._t_page_xfer)
 
         block_idx = geo.block_index(addr.block_addr)
         if retention_s is None:
             retention_s = max(0.0, self.sim.now - float(self.program_time[block_idx]))
         errors = self.error_model.sample_errors(
             self._rng,
-            nbits=geo.page_size * 8,
+            nbits=self._page_bits,
             pe_cycles=int(self.pe_cycles[block_idx]),
             retention_s=retention_s,
         )
-        self.stats.reads += 1
-        self.stats.bytes_read += geo.page_size
-        self._charge(self.energy.e_read + self.energy.transfer_energy(geo.page_size))
-        self.tracer.emit(self.sim.now, self.name, "flash.read", addr=addr, errors=errors)
+        stats = self.stats
+        stats.reads += 1
+        stats.bytes_read += geo.page_size
+        self._charge(self._e_read_page)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, self.name, "flash.read", addr=addr, errors=errors)
         return ReadResult(addr, self._data.get(idx), errors)
 
     def page_oob(self, addr: PageAddress) -> Any:
@@ -239,7 +247,7 @@ class FlashArray:
 
         with bus.request() as breq:
             yield breq
-            yield self.sim.timeout(self.timing.transfer_time(geo.page_size))
+            yield self.sim.timeout(self._t_page_xfer)
         with die.request() as dreq:
             yield dreq
             yield self.sim.timeout(self.timing.t_prog)
@@ -251,10 +259,12 @@ class FlashArray:
             self._data[idx] = data
         if oob is not None:
             self._oob[idx] = oob
-        self.stats.programs += 1
-        self.stats.bytes_programmed += geo.page_size
-        self._charge(self.energy.e_prog + self.energy.transfer_energy(geo.page_size))
-        self.tracer.emit(self.sim.now, self.name, "flash.program", addr=addr)
+        stats = self.stats
+        stats.programs += 1
+        stats.bytes_programmed += geo.page_size
+        self._charge(self._e_prog_page)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, self.name, "flash.program", addr=addr)
         return addr
 
     def mark_block_failed(self, block_index: int) -> None:

@@ -151,6 +151,11 @@ class FlashTranslationLayer:
             for die in range(geo.dies)
         }
         self._rr_die = {self.HOST: 0, self.GC: 0}
+        # Hot-path constants hoisted out of the per-page read/write methods
+        # (config is frozen and the geometry never changes after build).
+        self._buffer_hit_latency = self.config.buffer_hit_latency
+        self._read_cache_pages = self.config.read_cache_pages
+        self._pages_per_block = geo.pages_per_block
         self._readers = np.zeros(geo.blocks, dtype=np.int32)
         # In-flight programs per block: a page is allocated synchronously but
         # programmed/bound after yields; GC must not victimise or erase a
@@ -233,24 +238,26 @@ class FlashTranslationLayer:
         trimmed, reads as empty)."""
         self._check_lpn(lpn)
         self.host_reads += 1
-        self._m_reads.inc()
+        if self.metrics.enabled:
+            self._m_reads.inc()
         hit, data = self.write_buffer.peek(lpn)
         if hit:
             self.buffer_read_hits += 1
-            self._m_buffer_hits.inc()
-            yield self.sim.timeout(self.config.buffer_hit_latency)
+            if self.metrics.enabled:
+                self._m_buffer_hits.inc()
+            yield self.sim.timeout(self._buffer_hit_latency)
             return data
-        if self.config.read_cache_pages and lpn in self._read_cache:
+        if self._read_cache_pages and lpn in self._read_cache:
             self._read_cache.move_to_end(lpn)
             self.read_cache_hits += 1
-            yield self.sim.timeout(self.config.buffer_hit_latency)
+            yield self.sim.timeout(self._buffer_hit_latency)
             return self._read_cache[lpn]
         ppn = self.page_map.lookup(lpn)
         if ppn == UNMAPPED:
-            yield self.sim.timeout(self.config.buffer_hit_latency)
+            yield self.sim.timeout(self._buffer_hit_latency)
             return None
         geo = self.flash.geometry
-        block_index = ppn // geo.pages_per_block
+        block_index = ppn // self._pages_per_block
         self._readers[block_index] += 1
         try:
             result = yield from self.flash.read_page(geo.page_address(ppn))
@@ -261,7 +268,7 @@ class FlashTranslationLayer:
                 raise LogicalIOError(f"uncorrectable read at lpn {lpn}") from exc
         finally:
             self._readers[block_index] -= 1
-        if self.config.read_cache_pages:
+        if self._read_cache_pages:
             self._cache_insert(lpn, result.data)
         return result.data
 
@@ -278,7 +285,8 @@ class FlashTranslationLayer:
         if data is not None and len(data) > self.page_size:
             raise ValueError(f"payload {len(data)}B exceeds page size {self.page_size}B")
         self.host_writes += 1
-        self._m_writes.inc()
+        if self.metrics.enabled:
+            self._m_writes.inc()
         self._read_cache.pop(lpn, None)  # never serve stale data post-destage
         yield from self.write_buffer.put(lpn, data)
         return None

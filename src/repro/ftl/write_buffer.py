@@ -45,6 +45,9 @@ class WriteBuffer:
             raise ValueError("workers must be >= 1")
         self.sim = sim
         self.name = name
+        self._space_gate_name = f"{name}.space"
+        self._data_gate_name = f"{name}.data"
+        self._drained_gate_name = f"{name}.drained"
         self.capacity = capacity_pages
         self.destage = destage
         self.entries: "OrderedDict[int, bytes | None]" = OrderedDict()
@@ -68,7 +71,7 @@ class WriteBuffer:
     def put(self, lpn: int, data: bytes | None) -> Generator:
         """Insert (or overwrite) a buffered page; blocks while full."""
         while lpn not in self.entries and len(self.entries) >= self.capacity:
-            gate = self.sim.event(name=f"{self.name}.space")
+            gate = self.sim.event(self._space_gate_name)
             self._space_waiters.append(gate)
             yield gate
         if lpn in self.entries:
@@ -107,7 +110,7 @@ class WriteBuffer:
     def flush(self) -> Generator:
         """Wait until every buffered page reaches flash."""
         while self.entries or self._inflight:
-            gate = self.sim.event(name=f"{self.name}.drained")
+            gate = self.sim.event(self._drained_gate_name)
             self._drain_waiters.append(gate)
             yield gate
         return None
@@ -117,8 +120,12 @@ class WriteBuffer:
 
     # -- internals ----------------------------------------------------------
     def _wake(self, waiters: list[Event]) -> None:
-        while waiters:
-            waiters.pop(0).succeed()
+        if waiters:
+            # succeed() only schedules (callbacks run later), so nothing can
+            # append to the list mid-iteration; same FIFO order as popping.
+            for gate in waiters:
+                gate.succeed()
+            waiters.clear()
 
     def _maybe_drained(self) -> None:
         if not self.entries and not self._inflight:
@@ -136,7 +143,7 @@ class WriteBuffer:
         while True:
             item = self._pop_ready()
             while item is None:
-                gate = self.sim.event(name=f"{self.name}.data")
+                gate = self.sim.event(self._data_gate_name)
                 self._data_waiters.append(gate)
                 yield gate
                 item = self._pop_ready()

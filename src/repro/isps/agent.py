@@ -50,6 +50,7 @@ class IspsAgent:
         self.sim = sim
         self.isps = isps
         self.device_name = device_name
+        self._component = f"{device_name}.agent"
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.track_interval = track_interval
         self.minions_served = 0
@@ -104,41 +105,50 @@ class IspsAgent:
     # -- minions -----------------------------------------------------------
     def _serve_minion(self, minion: Minion) -> Generator:
         command = minion.command
-        component = f"{self.device_name}.agent"
+        component = self._component
+        # Observability hooks cost one attribute check each when off (the
+        # default for large sweeps); all emit/metric calls sit behind them.
+        traced = self.tracer.enabled
+        observed = self.metrics.enabled
         # Table III steps 2-6 live under one agent span when the minion
         # carries a span context (its parent is the NVMe transport hop).
         span = None
-        if minion.span is not None and self.tracer.enabled:
+        if minion.span is not None and traced:
             span = continue_trace(
                 self.tracer, self.sim, "agent.execute", component, minion.span
             )
             span.event("minion.received", minion=minion.minion_id)
-        self.tracer.emit(
-            self.sim.now, component, "minion.received",
-            minion=minion.minion_id, command=command.command_line or "<script>",
-        )
+        if traced:
+            self.tracer.emit(
+                self.sim.now, component, "minion.received",
+                minion=minion.minion_id, command=command.command_line or "<script>",
+            )
         self.active_minions += 1
-        self._m_active.set(self.active_minions, device=self.device_name)
         started = self.sim.now
-        self._m_queue_wait.observe(
-            started - minion.created_at, device=self.device_name
-        )
+        if observed:
+            self._m_active.set(self.active_minions, device=self.device_name)
+            self._m_queue_wait.observe(
+                started - minion.created_at, device=self.device_name
+            )
         try:
             response = yield from self._execute(minion, span)
         finally:
             self.active_minions -= 1
-            self._m_active.set(self.active_minions, device=self.device_name)
+            if observed:
+                self._m_active.set(self.active_minions, device=self.device_name)
         response.execution_seconds = self.sim.now - started
         response.device = self.device_name
         minion.response = response
         minion.completed_at = self.sim.now
         self.minions_served += 1
-        self._m_minions.inc(device=self.device_name, status=response.status.value)
-        self._m_exec.observe(response.execution_seconds, device=self.device_name)
-        self.tracer.emit(
-            self.sim.now, component, "minion.responded",
-            minion=minion.minion_id, status=response.status.value,
-        )
+        if observed:
+            self._m_minions.inc(device=self.device_name, status=response.status.value)
+            self._m_exec.observe(response.execution_seconds, device=self.device_name)
+        if traced:
+            self.tracer.emit(
+                self.sim.now, component, "minion.responded",
+                minion=minion.minion_id, status=response.status.value,
+            )
         if span is not None:
             span.event(
                 "minion.responded", minion=minion.minion_id,
@@ -172,10 +182,11 @@ class IspsAgent:
                 detail["script_steps"] = len(results)
             else:
                 process = os_.spawn(command.command_line, priority=command.priority)
-                self.tracer.emit(
-                    self.sim.now, f"{self.device_name}.agent", "minion.spawned",
-                    minion=minion.minion_id, pid=process.pid,
-                )
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.sim.now, self._component, "minion.spawned",
+                        minion=minion.minion_id, pid=process.pid,
+                    )
                 if span is not None:
                     # Table III steps 3-4 (driver + flash traffic) happen
                     # inside this window; the span-tree builder adopts the
@@ -242,17 +253,21 @@ class IspsAgent:
     def _track(self, minion: Minion, process, span: Span | None = None) -> Generator:
         """Step 5 of Table III: the agent keeps track of in-situ status."""
         while process.state == ProcessState.RUNNING:
-            utilization = self.isps.cluster.utilization()
-            self.tracer.emit(
-                self.sim.now, f"{self.device_name}.agent", "minion.tracked",
-                minion=minion.minion_id, pid=process.pid,
-                utilization=utilization,
-            )
-            if span is not None:
-                span.event(
-                    "minion.tracked", minion=minion.minion_id, pid=process.pid,
+            if self.tracer.enabled or span is not None:
+                # utilization() is a pure read — skip the arithmetic when
+                # nobody records the sample (the poll timeout still runs,
+                # keeping the event schedule identical either way)
+                utilization = self.isps.cluster.utilization()
+                self.tracer.emit(
+                    self.sim.now, self._component, "minion.tracked",
+                    minion=minion.minion_id, pid=process.pid,
                     utilization=utilization,
                 )
+                if span is not None:
+                    span.event(
+                        "minion.tracked", minion=minion.minion_id, pid=process.pid,
+                        utilization=utilization,
+                    )
             yield self.sim.timeout(self.track_interval)
         return None
 

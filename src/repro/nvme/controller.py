@@ -122,10 +122,12 @@ class NvmeController:
     def _worker(self, qp: QueuePair) -> Generator:
         while True:
             submitted_at, command = yield from qp.fetch()
+            # Enum .name is a descriptor lookup; resolve it once per command
+            # for the bookkeeping below.
+            opname = command.opcode.name
             if self.metrics.enabled:
                 self._m_qdepth.set(
-                    qp.outstanding, device=self.name, queue=qp.qid,
-                    opcode=command.opcode.name,
+                    qp.outstanding, device=self.name, queue=qp.qid, opcode=opname,
                 )
             refusal = self.faults.intercept() if self.faults is not None else None
             if refusal is not None:
@@ -140,13 +142,14 @@ class NvmeController:
                 )
                 if self.metrics.enabled:
                     self._m_commands.inc(
-                        device=self.name, opcode=command.opcode.name,
+                        device=self.name, opcode=opname,
                         status=completion.status.name,
                     )
-                self.tracer.emit(
-                    self.sim.now, self.name, "nvme.refused",
-                    opcode=command.opcode.name, status=completion.status.name,
-                )
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.sim.now, self.name, "nvme.refused",
+                        opcode=opname, status=completion.status.name,
+                    )
                 yield from qp.post(completion)
                 continue
             if self.firmware_cluster is not None:
@@ -169,21 +172,24 @@ class NvmeController:
                 completed_at=self.sim.now,
             )
             self.commands_executed += 1
-            stats = self._latency.setdefault(command.opcode.name, [0, 0.0, 0.0])
+            stats = self._latency.get(opname)
+            if stats is None:
+                stats = self._latency[opname] = [0, 0.0, 0.0]
             stats[0] += 1
             stats[1] += completion.latency
             stats[2] = max(stats[2], completion.latency)
             if self.metrics.enabled:
                 self._m_commands.inc(
-                    device=self.name, opcode=command.opcode.name, status=status.name
+                    device=self.name, opcode=opname, status=status.name
                 )
                 self._m_latency.observe(
-                    completion.latency, device=self.name, opcode=command.opcode.name
+                    completion.latency, device=self.name, opcode=opname
                 )
-            self.tracer.emit(
-                self.sim.now, self.name, "nvme.complete",
-                opcode=command.opcode.name, status=status.name,
-            )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now, self.name, "nvme.complete",
+                    opcode=opname, status=status.name,
+                )
             yield from qp.post(completion)
 
     def _execute(self, command: NvmeCommand) -> Generator:

@@ -16,6 +16,11 @@ from typing import Any
 
 import numpy as np
 
+# Pre-bound heap functions: the scheduler calls these once per event, so
+# skipping the module-attribute lookup is measurable at fleet scale.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 __all__ = [
     "AllOf",
     "AnyOf",
@@ -107,7 +112,7 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.sim._schedule(self, delay=0.0, priority=NORMAL)
+        self.sim._schedule(self, 0.0, NORMAL)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -124,13 +129,16 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, delay=0.0, priority=NORMAL)
+        self.sim._schedule(self, 0.0, NORMAL)
         return self
 
     def _run_callbacks(self) -> None:
+        # Hot path: one list swap, then direct dispatch.  The common case is
+        # a single waiter, which the plain for-loop already handles without
+        # extra allocation; the swap-to-None is what marks "processed" for
+        # late waiters (see Process._resume).
         callbacks, self.callbacks = self.callbacks, None
         self._processed = True
-        assert callbacks is not None
         for cb in callbacks:
             cb(self)
         if not self._ok and not self._defused:
@@ -157,11 +165,23 @@ class Timeout(Event):
     ):
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=f"timeout({delay:g})")
-        self.delay = delay
-        self._triggered = True
+        # Flattened Event.__init__: timeouts are the single most-created
+        # object in any run (every latency model yields one), so the slots
+        # are set directly and the name is static — the delay is readable
+        # from the ``delay`` slot and shown by __repr__.
+        self.sim = sim
+        self.name = "timeout"
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay=delay, priority=NORMAL, daemon=daemon)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        self.delay = delay
+        sim._schedule(self, delay, NORMAL, daemon)
+
+    def __repr__(self) -> str:
+        return f"<Timeout({self.delay:g}) at {id(self):#x}>"
 
 
 class Initialize(Event):
@@ -170,10 +190,15 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", process: "Process"):
-        super().__init__(sim, name="init")
+        self.sim = sim
+        self.name = "init"
         self.callbacks = [process._resume]
+        self._value = None
+        self._ok = True
         self._triggered = True
-        sim._schedule(self, delay=0.0, priority=URGENT)
+        self._processed = False
+        self._defused = False
+        sim._schedule(self, 0.0, URGENT)
 
 
 class Process(Event):
@@ -189,7 +214,16 @@ class Process(Event):
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"process() needs a generator, got {generator!r}")
-        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        # Flattened Event.__init__: processes are created per page in the
+        # streaming-app readahead loop.
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
         self._generator = generator
         self._target: Event | None = None
         Initialize(sim, self)
@@ -228,48 +262,54 @@ class Process(Event):
         self._resume(event)
 
     def _resume(self, event: Event) -> None:
-        self.sim._active = self
+        # The inner interpreter loop: every yield in every model process
+        # passes through here, so locals are bound once up front.
+        sim = self.sim
+        send = self._generator.send
+        throw = self._generator.throw
+        sim._active = self
         self._target = None
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = throw(event._value)
             except StopIteration as stop:
                 self._triggered = True
                 self._ok = True
                 self._value = stop.value
-                self.sim._schedule(self, delay=0.0, priority=NORMAL)
+                sim._schedule(self, 0.0, NORMAL)
                 break
             except BaseException as exc:
                 self._triggered = True
                 self._ok = False
                 self._value = exc
-                self.sim._schedule(self, delay=0.0, priority=NORMAL)
+                sim._schedule(self, 0.0, NORMAL)
                 break
 
             if not isinstance(next_event, Event):
                 exc = SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
-                event = Event(self.sim, name="bad-yield")
+                event = Event(sim, name="bad-yield")
                 event._triggered = True
                 event._ok = False
                 event._value = exc
                 continue
-            if next_event.sim is not self.sim:
+            if next_event.sim is not sim:
                 raise SimulationError("cannot wait on an event from another simulator")
-            if next_event.callbacks is None:
+            callbacks = next_event.callbacks
+            if callbacks is None:
                 # Already processed: resume immediately with its outcome
                 # (loop top sends the value or throws the exception).
                 event = next_event
                 continue
-            next_event.callbacks.append(self._resume)
+            callbacks.append(self._resume)
             self._target = next_event
             break
-        self.sim._active = None
+        sim._active = None
 
 
 class Condition(Event):
@@ -368,6 +408,8 @@ class Simulator:
         self._seed = seed
         self._rngs: dict[str, np.random.Generator] = {}
         self._live = 0  # scheduled non-daemon events
+        #: Total events processed since construction (perf accounting).
+        self.events_processed = 0
 
     # -- time -----------------------------------------------------------
     @property
@@ -418,7 +460,7 @@ class Simulator:
     def _schedule(
         self, event: Event, delay: float, priority: int, daemon: bool = False
     ) -> None:
-        heapq.heappush(
+        _heappush(
             self._queue, (self._now + delay, priority, next(self._seq), daemon, event)
         )
         if not daemon:
@@ -437,12 +479,13 @@ class Simulator:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("step() on an empty schedule")
-        when, _prio, _seq, daemon, event = heapq.heappop(self._queue)
+        when, _prio, _seq, daemon, event = _heappop(self._queue)
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         if not daemon:
             self._live -= 1
         self._now = when
+        self.events_processed += 1
         event._run_callbacks()
 
     def run(self, until: float | Event | None = None) -> Any:
@@ -454,14 +497,25 @@ class Simulator:
         ``run(until=<time>)`` window.  When ``until`` is an :class:`Event`,
         returns that event's value.
         """
+        # The three dispatch loops below are step() inlined: pop, advance
+        # time, run callbacks.  The per-event method call and the redundant
+        # past-event guard (unreachable via _schedule, which never produces
+        # a time below now) are what the inlining removes.  step() remains
+        # for external single-step callers.
+        queue = self._queue
         if isinstance(until, Event):
             stop = until
             if stop.callbacks is None:
                 return stop._value if stop._ok else self._raise(stop)
             flag: list[bool] = []
             stop.callbacks.append(lambda ev: flag.append(True))
-            while self._queue and self._live > 0 and not flag:
-                self.step()
+            while queue and self._live > 0 and not flag:
+                when, _prio, _seq, daemon, event = _heappop(queue)
+                if not daemon:
+                    self._live -= 1
+                self._now = when
+                self.events_processed += 1
+                event._run_callbacks()
             if not flag:
                 raise SimulationError(
                     f"live schedule drained before {stop!r} fired"
@@ -472,11 +526,21 @@ class Simulator:
         if horizon < self._now:
             raise ValueError(f"until={horizon} is in the past (now={self._now})")
         if horizon == float("inf"):
-            while self._queue and self._live > 0:
-                self.step()
+            while queue and self._live > 0:
+                when, _prio, _seq, daemon, event = _heappop(queue)
+                if not daemon:
+                    self._live -= 1
+                self._now = when
+                self.events_processed += 1
+                event._run_callbacks()
         else:
-            while self._queue and self._queue[0][0] <= horizon:
-                self.step()
+            while queue and queue[0][0] <= horizon:
+                when, _prio, _seq, daemon, event = _heappop(queue)
+                if not daemon:
+                    self._live -= 1
+                self._now = when
+                self.events_processed += 1
+                event._run_callbacks()
             self._now = horizon
         return None
 

@@ -32,7 +32,17 @@ class Request(Event):
     __slots__ = ("resource", "priority", "_key")
 
     def __init__(self, resource: "Resource", priority: int = 0):
-        super().__init__(resource.sim, name=f"request({resource.name})")
+        # Flattened Event.__init__; the name is precomputed once per
+        # resource (_req_name) rather than formatted per request — requests
+        # are created on every command/page/bus transaction.
+        self.sim = resource.sim
+        self.name = resource._req_name
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
         self.resource = resource
         self.priority = priority
         self._key = (priority, next(resource._ticket))
@@ -61,6 +71,7 @@ class Resource:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.name = name
+        self._req_name = f"request({name})"
         self.capacity = capacity
         self.users: list[Request] = []
         self.queue: deque[Request] | list[Request] = deque()
@@ -106,15 +117,23 @@ class Resource:
         return self.queue.popleft() if self.queue else None
 
     def _grant(self, req: Request) -> None:
-        self._account()
-        self.users.append(req)
+        # _account() inlined: grant/release bracket every command, page and
+        # bus transaction, so the method-call overhead is measurable.
+        users = self.users
+        now = self.sim._now
+        self._busy_integral += len(users) * (now - self._last_change)
+        self._last_change = now
+        users.append(req)
         req.succeed(self)
 
     def release(self, req: Request) -> None:
         """Return a slot (or withdraw a queued request)."""
-        if req in self.users:
-            self._account()
-            self.users.remove(req)
+        users = self.users
+        if req in users:
+            now = self.sim._now
+            self._busy_integral += len(users) * (now - self._last_change)
+            self._last_change = now
+            users.remove(req)
             nxt = self._dequeue()
             if nxt is not None:
                 self._grant(nxt)
@@ -125,6 +144,29 @@ class Resource:
                 pass  # releasing twice, or a request that was never granted
 
 
+class _HeapQueueView:
+    """Live, read-only sequence view over a :class:`PriorityResource` heap.
+
+    Keeps ``resource.queue`` introspection (``len``, truthiness, iteration
+    in priority order) without rebuilding a list on every enqueue/dequeue —
+    that rebuild was O(n) per operation and showed up in fleet profiles.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self, heap: list):
+        self._heap = heap
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self):
+        return (r for _, r in sorted(self._heap, key=lambda kr: kr[0]))
+
+
 class PriorityResource(Resource):
     """A resource whose wait queue is ordered by ``priority`` (lower first),
     FIFO within a priority level."""
@@ -132,15 +174,16 @@ class PriorityResource(Resource):
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = "prio-resource"):
         super().__init__(sim, capacity, name)
         self._heap: list[tuple[tuple[int, int], Request]] = []
+        # queue is a live view; release() mutates _heap in place so the
+        # view never dangles.
+        self.queue = _HeapQueueView(self._heap)
 
     def _enqueue(self, req: Request) -> None:
         heapq.heappush(self._heap, (req._key, req))
-        self.queue = [r for _, r in self._heap]  # keep introspection working
 
     def _dequeue(self) -> Request | None:
         while self._heap:
             _, req = heapq.heappop(self._heap)
-            self.queue = [r for _, r in self._heap]
             if not req._triggered:  # skip cancelled requests
                 return req
         return None
@@ -149,9 +192,8 @@ class PriorityResource(Resource):
         if req in self.users:
             super().release(req)
         else:
-            self._heap = [(k, r) for (k, r) in self._heap if r is not req]
+            self._heap[:] = [(k, r) for (k, r) in self._heap if r is not req]
             heapq.heapify(self._heap)
-            self.queue = [r for _, r in self._heap]
 
 
 class Store:
@@ -166,6 +208,8 @@ class Store:
             raise ValueError("capacity must be positive")
         self.sim = sim
         self.name = name
+        self._put_name = f"put({name})"
+        self._get_name = f"get({name})"
         self.capacity = capacity
         self.items: deque[Any] = deque()
         self._getters: deque[tuple[Event, Callable[[Any], bool] | None]] = deque()
@@ -175,13 +219,13 @@ class Store:
         return len(self.items)
 
     def put(self, item: Any) -> Event:
-        ev = Event(self.sim, name=f"put({self.name})")
+        ev = Event(self.sim, self._put_name)
         self._putters.append((ev, item))
         self._settle()
         return ev
 
     def get(self, filter: Callable[[Any], bool] | None = None) -> Event:
-        ev = Event(self.sim, name=f"get({self.name})")
+        ev = Event(self.sim, self._get_name)
         self._getters.append((ev, filter))
         self._settle()
         return ev
@@ -201,9 +245,19 @@ class Store:
                 remaining: deque[tuple[Event, Callable[[Any], bool] | None]] = deque()
                 while self._getters:
                     ev, pred = self._getters.popleft()
+                    if pred is None:
+                        # Fast path (the overwhelmingly common unfiltered
+                        # get): identical outcome to the scan below finding
+                        # index 0, without the enumerate machinery.
+                        ev.succeed(self.items.popleft())
+                        progress = True
+                        if not self.items:
+                            remaining.extend(self._getters)
+                            self._getters.clear()
+                        continue
                     found = None
                     for idx, item in enumerate(self.items):
-                        if pred is None or pred(item):
+                        if pred(item):
                             found = idx
                             break
                     if found is None:
@@ -236,6 +290,8 @@ class Container:
             raise ValueError("init must be within [0, capacity]")
         self.sim = sim
         self.name = name
+        self._put_name = f"put({name})"
+        self._get_name = f"get({name})"
         self.capacity = capacity
         self._level = float(init)
         self._getters: deque[tuple[Event, float]] = deque()
@@ -248,7 +304,7 @@ class Container:
     def put(self, amount: float) -> Event:
         if amount <= 0:
             raise ValueError("amount must be positive")
-        ev = Event(self.sim, name=f"put({self.name})")
+        ev = Event(self.sim, self._put_name)
         self._putters.append((ev, amount))
         self._settle()
         return ev
@@ -256,7 +312,7 @@ class Container:
     def get(self, amount: float) -> Event:
         if amount <= 0:
             raise ValueError("amount must be positive")
-        ev = Event(self.sim, name=f"get({self.name})")
+        ev = Event(self.sim, self._get_name)
         self._getters.append((ev, amount))
         self._settle()
         return ev
