@@ -10,7 +10,7 @@ approach paper scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Generator, Sequence
 
 from repro.analysis.calibration import PAPER_FIG8_J_PER_GB
@@ -26,6 +26,10 @@ from repro.workloads import BookCorpus, CorpusSpec
 __all__ = [
     "Fig1Row",
     "Fig8Row",
+    "fig1_cell",
+    "fig6_cell",
+    "fig7_host_cell",
+    "fig8_cell",
     "run_fig1",
     "run_fig6",
     "run_fig7",
@@ -51,6 +55,19 @@ class Fig1Row:
     mismatch: float  # media / host ingest
 
 
+def _fig1_row(count: int) -> Fig1Row:
+    sim = Simulator()
+    fabric = PcieFabric(sim, endpoints=count)
+    media_per_ssd = FlashArray(sim).aggregate_bandwidth
+    return Fig1Row(
+        ssd_count=count,
+        media_bandwidth_bps=count * media_per_ssd,
+        endpoint_link_bps=fabric.ports[0].bandwidth,
+        host_ingest_bps=fabric.host_ingest_bandwidth,
+        mismatch=fabric.mismatch_factor(media_per_ssd),
+    )
+
+
 def run_fig1(ssd_counts: Sequence[int] = (1, 4, 8, 16, 32, 64)) -> list[Fig1Row]:
     """The paper's bandwidth-accounting argument, from the models.
 
@@ -58,21 +75,12 @@ def run_fig1(ssd_counts: Sequence[int] = (1, 4, 8, 16, 32, 64)) -> list[Fig1Row]
     flash array; fabric numbers from the Gen3 x16-uplink / x4-endpoint
     topology (Fig. 2).
     """
-    rows = []
-    for count in ssd_counts:
-        sim = Simulator()
-        fabric = PcieFabric(sim, endpoints=count)
-        media_per_ssd = FlashArray(sim).aggregate_bandwidth
-        rows.append(
-            Fig1Row(
-                ssd_count=count,
-                media_bandwidth_bps=count * media_per_ssd,
-                endpoint_link_bps=fabric.ports[0].bandwidth,
-                host_ingest_bps=fabric.host_ingest_bandwidth,
-                mismatch=fabric.mismatch_factor(media_per_ssd),
-            )
-        )
-    return rows
+    return [_fig1_row(count) for count in ssd_counts]
+
+
+def fig1_cell(ssd_count: int) -> dict:
+    """One Fig. 1 row as a JSON-encodable parallel-runner work item."""
+    return asdict(_fig1_row(ssd_count))
 
 
 # ---------------------------------------------------------------------------
@@ -136,38 +144,80 @@ def run_fig6(
     per-device work is constant and aggregate throughput scales with N.
     Returns ``[(n_devices, throughput_mb_s), ...]``.
     """
-    results = []
-    for count in device_counts:
-        spec_n = spec
-        if scale_dataset_with_devices:
-            spec_n = CorpusSpec(
-                files=spec.files * count,
-                mean_file_bytes=spec.mean_file_bytes,
-                size_spread=spec.size_spread,
-                needle=spec.needle,
-                needle_rate=spec.needle_rate,
-                seed=spec.seed,
-                compressions=spec.compressions,
-            )
-        books = _corpus_for(app, spec_n, functional)
-        node = StorageNode.build(
-            devices=count, device_capacity=device_capacity, store_data=functional
+    return [
+        _fig6_one(
+            app, count, spec, functional, device_capacity,
+            scale_dataset_with_devices,
         )
-        compressed = app in ("gunzip", "bunzip2")
-        node.sim.run(node.sim.process(node.stage_corpus(books, compressed=compressed)))
-        assignments = _stage_and_commands(node, books, app)
+        for count in device_counts
+    ]
 
-        def experiment() -> Generator:
-            start = node.sim.now
-            responses = yield from node.client.gather(assignments)
-            return responses, node.sim.now - start
 
-        responses, seconds = node.sim.run(node.sim.process(experiment()))
-        bad = [r for r in responses if r is None or r.status.value not in ("ok", "app-error")]
-        if bad:
-            raise RuntimeError(f"fig6 run failed on {len(bad)} minions")
-        results.append((count, throughput_mb_s(_input_bytes(books, app), seconds)))
-    return results
+def _fig6_one(
+    app: str,
+    count: int,
+    spec: CorpusSpec,
+    functional: bool,
+    device_capacity: int,
+    scale_dataset_with_devices: bool,
+) -> tuple[int, float]:
+    """One Fig. 6 cell: throughput of ``app`` on a ``count``-device node."""
+    spec_n = spec
+    if scale_dataset_with_devices:
+        spec_n = CorpusSpec(
+            files=spec.files * count,
+            mean_file_bytes=spec.mean_file_bytes,
+            size_spread=spec.size_spread,
+            needle=spec.needle,
+            needle_rate=spec.needle_rate,
+            seed=spec.seed,
+            compressions=spec.compressions,
+        )
+    books = _corpus_for(app, spec_n, functional)
+    node = StorageNode.build(
+        devices=count, device_capacity=device_capacity, store_data=functional
+    )
+    compressed = app in ("gunzip", "bunzip2")
+    node.sim.run(node.sim.process(node.stage_corpus(books, compressed=compressed)))
+    assignments = _stage_and_commands(node, books, app)
+
+    def experiment() -> Generator:
+        start = node.sim.now
+        responses = yield from node.client.gather(assignments)
+        return responses, node.sim.now - start
+
+    responses, seconds = node.sim.run(node.sim.process(experiment()))
+    bad = [r for r in responses if r is None or r.status.value not in ("ok", "app-error")]
+    if bad:
+        raise RuntimeError(f"fig6 run failed on {len(bad)} minions")
+    return count, throughput_mb_s(_input_bytes(books, app), seconds)
+
+
+def fig6_cell(
+    app: str,
+    devices: int,
+    files: int = DEFAULT_FIG6_SPEC.files,
+    mean_file_bytes: int = DEFAULT_FIG6_SPEC.mean_file_bytes,
+    size_spread: float = DEFAULT_FIG6_SPEC.size_spread,
+    seed: int = DEFAULT_FIG6_SPEC.seed,
+    functional: bool = True,
+    device_capacity: int = 48 * 1024 * 1024,
+    scale_dataset_with_devices: bool = True,
+) -> list:
+    """One Fig. 6 cell as a JSON-encodable parallel-runner work item.
+
+    Defaults reproduce :data:`DEFAULT_FIG6_SPEC`; the corpus spec is passed
+    as scalars so the job's kwargs are picklable and cache-keyable.
+    """
+    spec = CorpusSpec(
+        files=files, mean_file_bytes=mean_file_bytes,
+        size_spread=size_spread, seed=seed,
+    )
+    count, throughput = _fig6_one(
+        app, devices, spec, functional, device_capacity,
+        scale_dataset_with_devices,
+    )
+    return [count, throughput]
 
 
 def fig6_linearity(results: Sequence[tuple[int, float]]) -> tuple[float, float, float]:
@@ -193,6 +243,24 @@ def run_fig7(
     "aggregate_mb_s": ..}``.
     """
     # Host throughput is independent of the device count: measure once.
+    host_tp = _fig7_host(spec, functional, device_capacity)
+    device_curve = run_fig6(
+        app="bzip2", device_counts=device_counts, spec=spec,
+        functional=functional, device_capacity=device_capacity,
+    )
+    return [
+        {
+            "devices": n,
+            "host_mb_s": host_tp,
+            "compstor_mb_s": tp,
+            "aggregate_mb_s": host_tp + tp,
+        }
+        for n, tp in device_curve
+    ]
+
+
+def _fig7_host(spec: CorpusSpec, functional: bool, device_capacity: int) -> float:
+    """Host-only bzip2 throughput over the Fig. 7 corpus (MB/s)."""
     books = _corpus_for("bzip2", spec, functional)
     node = StorageNode.build(
         devices=1, device_capacity=device_capacity, store_data=functional,
@@ -212,21 +280,23 @@ def run_fig7(
     statuses, host_wall = node.sim.run(node.sim.process(host_experiment()))
     if any(s.code != 0 for s in statuses):
         raise RuntimeError("host bzip2 run failed")
-    host_tp = throughput_mb_s(sum(b.plain_size for b in books), host_wall)
+    return throughput_mb_s(sum(b.plain_size for b in books), host_wall)
 
-    device_curve = run_fig6(
-        app="bzip2", device_counts=device_counts, spec=spec,
-        functional=functional, device_capacity=device_capacity,
+
+def fig7_host_cell(
+    files: int = DEFAULT_FIG6_SPEC.files,
+    mean_file_bytes: int = DEFAULT_FIG6_SPEC.mean_file_bytes,
+    size_spread: float = DEFAULT_FIG6_SPEC.size_spread,
+    seed: int = DEFAULT_FIG6_SPEC.seed,
+    functional: bool = True,
+    device_capacity: int = 48 * 1024 * 1024,
+) -> float:
+    """The Fig. 7 host-only measurement as a parallel-runner work item."""
+    spec = CorpusSpec(
+        files=files, mean_file_bytes=mean_file_bytes,
+        size_spread=size_spread, seed=seed,
     )
-    return [
-        {
-            "devices": n,
-            "host_mb_s": host_tp,
-            "compstor_mb_s": tp,
-            "aggregate_mb_s": host_tp + tp,
-        }
-        for n, tp in device_curve
-    ]
+    return _fig7_host(spec, functional, device_capacity)
 
 
 # ---------------------------------------------------------------------------
@@ -309,6 +379,19 @@ def _host_energy_run(app: str, spec: CorpusSpec, functional: bool, capacity: int
     return server_j / (_input_bytes(books, app) / 1e9)
 
 
+def _fig8_row(
+    app: str, spec: CorpusSpec, functional: bool, device_capacity: int
+) -> Fig8Row:
+    paper_c, paper_x = PAPER_FIG8_J_PER_GB[app]
+    return Fig8Row(
+        app=app,
+        compstor_j_per_gb=_device_energy_run(app, spec, functional, device_capacity),
+        xeon_j_per_gb=_host_energy_run(app, spec, functional, device_capacity),
+        paper_compstor=paper_c,
+        paper_xeon=paper_x,
+    )
+
+
 def run_fig8(
     apps: Sequence[str] = FIG8_APPS,
     spec: CorpusSpec = DEFAULT_FIG8_SPEC,
@@ -316,16 +399,21 @@ def run_fig8(
     device_capacity: int = 48 * 1024 * 1024,
 ) -> list[Fig8Row]:
     """Energy per GB of input for each app on both platforms."""
-    rows = []
-    for app in apps:
-        paper_c, paper_x = PAPER_FIG8_J_PER_GB[app]
-        rows.append(
-            Fig8Row(
-                app=app,
-                compstor_j_per_gb=_device_energy_run(app, spec, functional, device_capacity),
-                xeon_j_per_gb=_host_energy_run(app, spec, functional, device_capacity),
-                paper_compstor=paper_c,
-                paper_xeon=paper_x,
-            )
-        )
-    return rows
+    return [_fig8_row(app, spec, functional, device_capacity) for app in apps]
+
+
+def fig8_cell(
+    app: str,
+    files: int = DEFAULT_FIG8_SPEC.files,
+    mean_file_bytes: int = DEFAULT_FIG8_SPEC.mean_file_bytes,
+    size_spread: float = DEFAULT_FIG8_SPEC.size_spread,
+    seed: int = DEFAULT_FIG8_SPEC.seed,
+    functional: bool = True,
+    device_capacity: int = 48 * 1024 * 1024,
+) -> dict:
+    """One Fig. 8 app row as a JSON-encodable parallel-runner work item."""
+    spec = CorpusSpec(
+        files=files, mean_file_bytes=mean_file_bytes,
+        size_spread=size_spread, seed=seed,
+    )
+    return asdict(_fig8_row(app, spec, functional, device_capacity))

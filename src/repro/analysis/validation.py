@@ -4,11 +4,18 @@
 each published claim, returning a structured scorecard.  ``python -m repro
 validate`` prints it — the reproduction certificate a reviewer would ask
 for.
+
+Each claim is a self-contained, seeded experiment (its own simulators,
+its own corpus), so the scorecard is a shardable matrix: claims are
+declared as module-level functions the parallel runner
+(:mod:`repro.parallel`) can execute in ``spawn`` workers, and
+``validate_against_paper`` merges the graded claims in canonical paper
+order no matter how many workers ran them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.analysis.figures import (
     fig6_linearity,
@@ -19,7 +26,12 @@ from repro.analysis.figures import (
 )
 from repro.baselines import SYSTEMS
 
-__all__ = ["Claim", "validate_against_paper"]
+__all__ = [
+    "CLAIM_ORDER",
+    "Claim",
+    "run_claim",
+    "validate_against_paper",
+]
 
 #: Fig. 8 absolute values must land within this fraction of the paper's bars.
 FIG8_TOLERANCE = 0.40
@@ -35,60 +47,61 @@ class Claim:
     passed: bool
 
 
-def validate_against_paper(quick: bool = False) -> list[Claim]:
-    """Run the evaluation and grade each claim.
+def _device_counts(quick: bool) -> tuple[int, ...]:
+    """``quick=True`` trims device counts for sub-minute wall time."""
+    return (1, 2) if quick else (1, 2, 4)
 
-    ``quick=True`` trims device counts for sub-minute wall time.
-    """
-    claims: list[Claim] = []
-    device_counts = (1, 2) if quick else (1, 2, 4)
 
-    # -- Fig. 1 ---------------------------------------------------------------
+def claim_fig1(quick: bool = False) -> Claim:
     rows = run_fig1((1, 64))
     at64 = next(r for r in rows if r.ssd_count == 64)
-    claims.append(Claim(
+    return Claim(
         "Fig. 1",
         "aggregate media bandwidth at 64 SSDs ~545 GB/s vs ~16 GB/s host PCIe",
         f"{at64.media_bandwidth_bps / 1e9:.0f} GB/s media, "
         f"{at64.host_ingest_bps / 1e9:.1f} GB/s ingest ({at64.mismatch:.0f}x)",
         abs(at64.media_bandwidth_bps - 545.8e9) / 545.8e9 < 0.02 and at64.mismatch > 30,
-    ))
+    )
 
-    # -- Table I --------------------------------------------------------------
+
+def claim_table1(quick: bool = False) -> Claim:
     full = [s.system for s in SYSTEMS if s.all_features]
-    claims.append(Claim(
+    return Claim(
         "Table I",
         "CompStor is the only full-feature in-storage computation system",
         f"full-feature rows: {full}",
         full == ["CompStor"],
-    ))
+    )
 
-    # -- Fig. 6 --------------------------------------------------------------
-    results = run_fig6(app="grep", device_counts=device_counts)
+
+def claim_fig6(quick: bool = False) -> Claim:
+    results = run_fig6(app="grep", device_counts=_device_counts(quick))
     slope, _, r2 = fig6_linearity(results)
-    claims.append(Claim(
+    return Claim(
         "Fig. 6",
         "performance scales linearly with the number of CompStors",
         f"grep slope {slope:.1f} MB/s/device, r^2={r2:.4f}",
         r2 > 0.98 and slope > 0,
-    ))
+    )
 
-    # -- Fig. 7 --------------------------------------------------------------
-    fig7 = run_fig7(device_counts=device_counts)
+
+def claim_fig7(quick: bool = False) -> Claim:
+    fig7 = run_fig7(device_counts=_device_counts(quick))
     device_tp = fig7[0]["compstor_mb_s"]
     host_tp = fig7[0]["host_mb_s"]
     aggregate_monotone = all(
         a["aggregate_mb_s"] < b["aggregate_mb_s"] for a, b in zip(fig7, fig7[1:])
     )
-    claims.append(Claim(
+    return Claim(
         "Fig. 7",
         "one CompStor is below the Xeon; aggregate grows with devices",
         f"device {device_tp:.1f} vs host {host_tp:.1f} MB/s; aggregate monotone: "
         f"{aggregate_monotone}",
         device_tp < host_tp and aggregate_monotone,
-    ))
+    )
 
-    # -- Fig. 8 --------------------------------------------------------------
+
+def claim_fig8(quick: bool = False) -> Claim:
     fig8 = run_fig8()
     wins = all(r.compstor_j_per_gb < r.xeon_j_per_gb for r in fig8)
     within = all(
@@ -97,11 +110,48 @@ def validate_against_paper(quick: bool = False) -> list[Claim]:
         for r in fig8
     )
     best = max(r.ratio for r in fig8)
-    claims.append(Claim(
+    return Claim(
         "Fig. 8",
         "CompStor wins energy/GB on all six apps, up to ~3X",
         f"wins all: {wins}; within {FIG8_TOLERANCE:.0%} of paper bars: {within}; "
         f"best ratio {best:.2f}x",
         wins and within and best >= 2.8,
-    ))
-    return claims
+    )
+
+
+#: Claim functions in canonical (paper) order — the merge order of the
+#: scorecard regardless of which worker finishes first.
+CLAIMS = {
+    "fig1": claim_fig1,
+    "table1": claim_table1,
+    "fig6": claim_fig6,
+    "fig7": claim_fig7,
+    "fig8": claim_fig8,
+}
+CLAIM_ORDER: tuple[str, ...] = tuple(CLAIMS)
+
+
+def run_claim(name: str, quick: bool = False) -> dict:
+    """Grade one claim; returns a JSON-encodable payload (worker target)."""
+    return asdict(CLAIMS[name](quick=quick))
+
+
+def validate_against_paper(
+    quick: bool = False,
+    workers: int = 1,
+    cache=None,
+    metrics=None,
+) -> list[Claim]:
+    """Run the evaluation and grade each claim.
+
+    ``workers`` shards the claims across spawn processes; ``cache`` (a
+    :class:`repro.parallel.ResultCache`) reuses results for unchanged
+    code + spec digests.  Output is identical for every worker count.
+    """
+    from repro.parallel.matrix import validation_jobs
+    from repro.parallel.runner import run_jobs
+
+    report = run_jobs(
+        validation_jobs(quick=quick), workers=workers, cache=cache, metrics=metrics
+    )
+    return [Claim(**result.value) for result in report.results]

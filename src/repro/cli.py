@@ -7,9 +7,18 @@
     python -m repro fig7
     python -m repro fig8 --apps grep gawk
     python -m repro table1
+    python -m repro validate --workers 4 # shard the scorecard across cores
     python -m repro quickstart           # the quickstart scenario
 
 Every command prints the same table its benchmark counterpart asserts on.
+
+The matrix-shaped verbs (``validate``, ``bench``, and the figure verbs)
+accept ``--workers N`` to shard their independent seeded cells across a
+process pool and merge in canonical order — stdout is byte-identical at
+any worker count (the run summary goes to stderr).  They also keep a
+content-addressed result cache (``--no-cache`` / ``--cache-dir`` to
+control it); ``bench`` never caches, because its wall clock *is* the
+measurement.
 """
 
 from __future__ import annotations
@@ -19,21 +28,61 @@ import sys
 from typing import Sequence
 
 from repro.analysis.experiments import format_series_table
-from repro.analysis.figures import (
-    FIG8_APPS,
-    fig6_linearity,
-    run_fig1,
-    run_fig6,
-    run_fig7,
-    run_fig8,
-)
+from repro.analysis.figures import FIG8_APPS, Fig1Row, Fig8Row, fig6_linearity
 from repro.baselines import table1_rows
 
 __all__ = ["main"]
 
 
+def _add_parallel_args(
+    parser: argparse.ArgumentParser, cached: bool = True
+) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width; 1 (default) runs in-process serially",
+    )
+    if cached:
+        parser.add_argument(
+            "--no-cache", action="store_true",
+            help="always recompute; do not read or write the result cache",
+        )
+        parser.add_argument(
+            "--cache-dir", default=None,
+            help="result cache root (default: $REPRO_CACHE_DIR or "
+                 "<repo>/.repro-cache)",
+        )
+    else:
+        parser.add_argument(
+            "--no-cache", action="store_true",
+            help="accepted for symmetry; this verb never caches (its wall "
+                 "clock is the measurement)",
+        )
+
+
+def _run_matrix(specs, args: argparse.Namespace, cached: bool = True):
+    """Run work items through the parallel runner; summary to stderr only,
+    so stdout stays byte-identical at every worker count."""
+    from repro.obs import MetricsRegistry
+    from repro.parallel import ResultCache, run_jobs
+
+    cache = None
+    if cached and not getattr(args, "no_cache", False):
+        cache = ResultCache(getattr(args, "cache_dir", None))
+    report = run_jobs(
+        specs,
+        workers=getattr(args, "workers", 1),
+        cache=cache,
+        metrics=MetricsRegistry(),
+    )
+    print(report.summary(), file=sys.stderr)
+    return report
+
+
 def _cmd_fig1(args: argparse.Namespace) -> None:
-    rows = run_fig1(tuple(args.devices))
+    from repro.parallel import fig1_jobs
+
+    report = _run_matrix(fig1_jobs(tuple(args.devices)), args)
+    rows = [Fig1Row(**value) for value in report.values()]
     print(format_series_table(
         "Fig. 1 — media vs host bandwidth (GB/s)",
         ["SSDs", "aggregate media", "per-SSD link", "host ingest", "mismatch x"],
@@ -43,7 +92,10 @@ def _cmd_fig1(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> None:
-    results = run_fig6(app=args.app, device_counts=tuple(args.devices))
+    from repro.parallel import fig6_jobs
+
+    report = _run_matrix(fig6_jobs(args.app, tuple(args.devices)), args)
+    results = [tuple(value) for value in report.values()]
     slope, _, r2 = fig6_linearity(results)
     print(format_series_table(
         f"Fig. 6 — {args.app} throughput vs device count",
@@ -54,7 +106,19 @@ def _cmd_fig6(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig7(args: argparse.Namespace) -> None:
-    rows = run_fig7(device_counts=tuple(args.devices))
+    from repro.parallel import fig7_jobs
+
+    report = _run_matrix(fig7_jobs(tuple(args.devices)), args)
+    host_tp = report.results[0].value
+    rows = [
+        {
+            "devices": n,
+            "host_mb_s": host_tp,
+            "compstor_mb_s": tp,
+            "aggregate_mb_s": host_tp + tp,
+        }
+        for n, tp in (tuple(r.value) for r in report.results[1:])
+    ]
     print(format_series_table(
         "Fig. 7 — bzip2 throughput, host + N CompStors (MB/s)",
         ["devices", "host", "CompStors", "aggregate"],
@@ -64,7 +128,10 @@ def _cmd_fig7(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig8(args: argparse.Namespace) -> None:
-    rows = run_fig8(apps=tuple(args.apps))
+    from repro.parallel import fig8_jobs
+
+    report = _run_matrix(fig8_jobs(tuple(args.apps)), args)
+    rows = [Fig8Row(**value) for value in report.values()]
     print(format_series_table(
         "Fig. 8 — energy per GB (J/GB), measured vs paper",
         ["app", "CompStor", "paper", "Xeon", "paper", "ratio", "paper ratio"],
@@ -307,8 +374,14 @@ def _cmd_bench(args: argparse.Namespace) -> None:
             print(profile_scenario(SCENARIOS[name], limit=args.profile_limit))
         return
 
+    if args.workers > 1:
+        print(
+            "# bench: workers>1 contend for cores; treat numbers as "
+            "exploration, not baselines (benchmarks/perf/README.md)",
+            file=sys.stderr,
+        )
     baseline = load_bench_json(args.output) if not args.no_save else load_bench_json()
-    results = run_bench(args.scenario, repeat=args.repeat)
+    results = run_bench(args.scenario, repeat=args.repeat, workers=args.workers)
     rows = []
     for r in results:
         row = r.row()
@@ -330,10 +403,17 @@ def _cmd_bench(args: argparse.Namespace) -> None:
 
 
 def _cmd_validate(args: argparse.Namespace) -> None:
-    """Run the whole evaluation and print the reproduction scorecard."""
-    from repro.analysis.validation import validate_against_paper
+    """Run the whole evaluation and print the reproduction scorecard.
 
-    claims = validate_against_paper(quick=args.quick)
+    Claims are independent seeded experiments, so they shard across
+    ``--workers`` processes; the scorecard is merged in paper order and is
+    byte-identical at any worker count (and on cache hits).
+    """
+    from repro.analysis.validation import Claim
+    from repro.parallel import validation_jobs
+
+    report = _run_matrix(validation_jobs(quick=args.quick), args)
+    claims = [Claim(**value) for value in report.values()]
     rows = [
         [("PASS" if c.passed else "FAIL"), c.source, c.claim, c.measured]
         for c in claims
@@ -373,21 +453,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig1", help="bandwidth mismatch (Fig. 1)")
     p.add_argument("--devices", type=int, nargs="+", default=[1, 4, 8, 16, 32, 64])
+    _add_parallel_args(p)
     p.set_defaults(func=_cmd_fig1)
 
     p = sub.add_parser("fig6", help="linear scaling (Fig. 6)")
     p.add_argument("--app", default="grep",
                    choices=["grep", "gawk", "gzip", "gunzip", "bzip2", "bunzip2"])
     p.add_argument("--devices", type=int, nargs="+", default=[1, 2, 4])
+    _add_parallel_args(p)
     p.set_defaults(func=_cmd_fig6)
 
     p = sub.add_parser("fig7", help="aggregate host+devices bzip2 (Fig. 7)")
     p.add_argument("--devices", type=int, nargs="+", default=[1, 2, 4])
+    _add_parallel_args(p)
     p.set_defaults(func=_cmd_fig7)
 
     p = sub.add_parser("fig8", help="energy per GB (Fig. 8)")
     p.add_argument("--apps", nargs="+", default=list(FIG8_APPS),
                    choices=list(FIG8_APPS))
+    _add_parallel_args(p)
     p.set_defaults(func=_cmd_fig8)
 
     p = sub.add_parser("table1", help="related-work capability matrix (Table I)")
@@ -451,10 +535,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cProfile the measured region instead of timing it")
     p.add_argument("--profile-limit", type=int, default=25,
                    help="rows of the profile table to print")
+    _add_parallel_args(p, cached=False)
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("validate", help="grade every paper claim (scorecard)")
     p.add_argument("--quick", action="store_true", help="smaller device sweep")
+    _add_parallel_args(p)
     p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser("quickstart", help="minimal end-to-end in-situ grep")

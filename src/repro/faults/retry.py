@@ -82,6 +82,11 @@ class RetryPolicy:
         raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
         if self.jitter and rng is not None:
             raw *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+            # Jitter widens the delay both ways; the cap is a contract on the
+            # *final* delay, so re-clamp after the multiply.  (jitter < 1
+            # keeps the multiplier positive, hence raw stays >= 0.)
+            raw = min(raw, self.max_delay)
+        assert raw >= 0.0
         return raw
 
 

@@ -23,13 +23,25 @@ def _prom_name(name: str, suffix: str = "") -> str:
     return f"{PROM_PREFIX}_{flat}{suffix}"
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the exposition format: backslash, double-quote, newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
     merged = dict(labels)
     if extra:
         merged.update(extra)
     if not merged:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(merged.items())
+    )
     return "{" + inner + "}"
 
 
@@ -67,7 +79,7 @@ def to_prometheus(registry: MetricsRegistry) -> str:
                 lines.append(
                     f"{base}_bucket{_prom_labels(labels, {'le': '+Inf'})} {state.count}"
                 )
-                lines.append(f"{base}_sum{_prom_labels(labels)} {repr(state.sum)}")
+                lines.append(f"{base}_sum{_prom_labels(labels)} {_fmt(state.sum)}")
                 lines.append(f"{base}_count{_prom_labels(labels)} {state.count}")
         else:
             for labels, value, _ in samples:
@@ -90,6 +102,7 @@ def to_json_lines(registry: MetricsRegistry) -> str:
                 record["count"] = value.count
                 record["sum"] = value.sum
                 record["max"] = value.max
+                record["min"] = value.min if value.count else 0.0
                 record["buckets"] = {
                     _fmt(bound): count
                     for bound, count in zip(

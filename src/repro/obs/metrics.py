@@ -182,13 +182,14 @@ class BoundGauge:
 class _HistogramState:
     """Per-label-set histogram accumulator."""
 
-    __slots__ = ("bucket_counts", "count", "sum", "max")
+    __slots__ = ("bucket_counts", "count", "sum", "max", "min")
 
     def __init__(self, n_buckets: int):
         self.bucket_counts = [0] * (n_buckets + 1)  # +1 = overflow (+Inf)
         self.count = 0
         self.sum = 0.0
         self.max = 0.0
+        self.min = float("inf")  # finite after the first observation
 
 
 class Histogram(Instrument):
@@ -226,6 +227,8 @@ class Histogram(Instrument):
         state.sum += value
         if value > state.max:
             state.max = value
+        if value < state.min:
+            state.min = value
         self._stamp(key, value)
 
     def labels(self, **labels: Any) -> "BoundHistogram":
@@ -249,8 +252,11 @@ class Histogram(Instrument):
         """Estimate the ``q``-quantile (``q`` in [0, 1]) by linear
         interpolation inside the containing bucket.
 
-        The overflow bucket is clamped to the observed maximum, so p99 of a
-        distribution that escapes the bounds still reports a finite value.
+        Every bucket's interpolation range is clamped to the observed
+        ``[min, max]``: ``q=0`` reports the true minimum (not the containing
+        bucket's lower bound), and a distribution living entirely in the
+        ``+Inf`` overflow bucket interpolates between its min and max
+        instead of collapsing every quantile to the maximum.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
@@ -265,10 +271,15 @@ class Histogram(Instrument):
             cumulative += bucket_count
             if cumulative >= rank:
                 if index >= len(self.buckets):  # overflow bucket
-                    return state.max
-                upper = self.buckets[index]
-                lower = self.buckets[index - 1] if index > 0 else 0.0
-                upper = min(upper, state.max) if state.max > lower else upper
+                    upper = state.max
+                    lower = self.buckets[-1]
+                else:
+                    upper = self.buckets[index]
+                    lower = self.buckets[index - 1] if index > 0 else 0.0
+                if state.min > lower:
+                    lower = state.min
+                if state.max < upper:
+                    upper = max(state.max, lower)
                 fraction = 1.0 - (cumulative - rank) / bucket_count
                 return lower + (upper - lower) * fraction
         return state.max
@@ -282,6 +293,7 @@ class Histogram(Instrument):
             merged.count += state.count
             merged.sum += state.sum
             merged.max = max(merged.max, state.max)
+            merged.min = min(merged.min, state.min)
             for i, c in enumerate(state.bucket_counts):
                 merged.bucket_counts[i] += c
         probe = Histogram(self.registry, self.name, self.help, self.buckets)
@@ -312,6 +324,8 @@ class BoundHistogram:
         state.sum += value
         if value > state.max:
             state.max = value
+        if value < state.min:
+            state.min = value
         hist._stamp(key, value)
 
 

@@ -1,0 +1,113 @@
+"""Content-addressed result cache for experiment jobs.
+
+A cache entry is keyed on ``sha256(code_digest + spec_digest)``:
+
+* the **code digest** hashes every ``repro`` package source file (name and
+  bytes) plus the Python minor version and the zlib runtime version (the
+  compression apps' output depends on it), so *any* source change
+  invalidates *every* entry — coarse, but it can never serve a stale
+  result for changed model code;
+* the **spec digest** hashes the job's name, target, kwargs, and seed.
+
+Entries live under ``$REPRO_CACHE_DIR`` (default ``<repo>/.repro-cache``),
+one JSON file per key, written atomically so a killed run never leaves a
+half-entry behind.  Cached values are byte-identical to freshly computed
+ones — both sides of the comparison are the canonical JSON round-trip in
+:mod:`repro.parallel.jobs` — which is what lets ``validate`` reuse them
+without perturbing the scorecard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import zlib
+from functools import lru_cache
+from pathlib import Path
+
+from repro.parallel.jobs import JobResult, JobSpec
+
+__all__ = ["ResultCache", "code_digest", "default_cache_dir"]
+
+CACHE_SCHEMA = "repro.parallel.cache.v1"
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``<repo>/.repro-cache``."""
+    configured = os.environ.get(ENV_CACHE_DIR)
+    if configured:
+        return Path(configured)
+    from repro.parallel.jobs import repo_root
+
+    return repo_root() / ".repro-cache"
+
+
+@lru_cache(maxsize=1)
+def code_digest() -> str:
+    """Hash of the entire ``repro`` package source (the invalidation rule)."""
+    import repro
+
+    package_dir = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    digest.update(f"python={sys.version_info[0]}.{sys.version_info[1]}".encode())
+    digest.update(f"|zlib={zlib.ZLIB_RUNTIME_VERSION}|".encode())
+    for path in sorted(package_dir.rglob("*.py")):
+        digest.update(path.relative_to(package_dir).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed, content-addressed store of :class:`JobResult`\\ s."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def key(self, spec: JobSpec) -> str:
+        return hashlib.sha256((code_digest() + spec.digest()).encode()).hexdigest()
+
+    def path(self, spec: JobSpec) -> Path:
+        key = self.key(spec)
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, spec: JobSpec) -> JobResult | None:
+        """The cached result, or ``None`` on miss/corruption (never raises)."""
+        path = self.path(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA or payload.get("name") != spec.name:
+            return None
+        return JobResult(
+            name=spec.name,
+            value=payload["value"],
+            digest=payload["digest"],
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            cached=True,
+        )
+
+    def store(self, spec: JobSpec, result: JobResult) -> Path:
+        """Persist one successful result (atomic write-then-rename)."""
+        if result.error is not None:
+            raise ValueError("refusing to cache a failed job")
+        path = self.path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "name": spec.name,
+            "target": spec.target,
+            "digest": result.digest,
+            "value": result.value,
+            "wall_seconds": result.wall_seconds,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+        tmp.replace(path)
+        return path

@@ -1,0 +1,168 @@
+"""The experiment matrix as enumerable work items.
+
+Every row of the paper's evaluation — scorecard claims, figure cells,
+ablation points, bench scenarios — expressed as
+:class:`~repro.parallel.jobs.JobSpec` lists that the runner can shard.
+Targets are import strings, not callables, so this module stays cheap to
+import and specs stay picklable for ``spawn`` workers.
+
+Ablation cells live in ``benchmarks/`` (outside the installable package)
+and are addressed with ``file:`` targets; :func:`ablation_jobs` only
+enumerates them when the checkout is present.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.parallel.jobs import JobSpec, repo_root
+
+__all__ = [
+    "ablation_jobs",
+    "bench_jobs",
+    "fig1_jobs",
+    "fig6_jobs",
+    "fig7_jobs",
+    "fig8_jobs",
+    "full_matrix",
+    "validation_jobs",
+]
+
+#: Scorecard claim names in canonical (paper) order; mirrors
+#: ``repro.analysis.validation.CLAIM_ORDER`` without importing it.
+CLAIM_NAMES = ("fig1", "table1", "fig6", "fig7", "fig8")
+
+
+def validation_jobs(quick: bool = False) -> list[JobSpec]:
+    """One job per scorecard claim (the unit ``validate`` shards on)."""
+    return [
+        JobSpec(
+            name=f"validate.{name}",
+            target="repro.analysis.validation:run_claim",
+            kwargs={"name": name, "quick": quick},
+        )
+        for name in CLAIM_NAMES
+    ]
+
+
+def fig1_jobs(ssd_counts: Sequence[int]) -> list[JobSpec]:
+    return [
+        JobSpec(
+            name=f"fig1.n{count}",
+            target="repro.analysis.figures:fig1_cell",
+            kwargs={"ssd_count": count},
+        )
+        for count in ssd_counts
+    ]
+
+
+def fig6_jobs(
+    app: str, device_counts: Sequence[int], **cell_kwargs: Any
+) -> list[JobSpec]:
+    return [
+        JobSpec(
+            name=f"fig6.{app}.n{count}",
+            target="repro.analysis.figures:fig6_cell",
+            kwargs={"app": app, "devices": count, **cell_kwargs},
+        )
+        for count in device_counts
+    ]
+
+
+def fig7_jobs(device_counts: Sequence[int]) -> list[JobSpec]:
+    """The host-only bzip2 measurement plus one device cell per count."""
+    return [
+        JobSpec(name="fig7.host", target="repro.analysis.figures:fig7_host_cell")
+    ] + [
+        JobSpec(
+            name=f"fig7.bzip2.n{count}",
+            target="repro.analysis.figures:fig6_cell",
+            kwargs={"app": "bzip2", "devices": count},
+        )
+        for count in device_counts
+    ]
+
+
+def fig8_jobs(apps: Sequence[str]) -> list[JobSpec]:
+    return [
+        JobSpec(
+            name=f"fig8.{app}",
+            target="repro.analysis.figures:fig8_cell",
+            kwargs={"app": app},
+        )
+        for app in apps
+    ]
+
+
+def bench_jobs(names: Sequence[str], repeat: int = 1) -> list[JobSpec]:
+    """Bench scenarios as jobs.  Never cache these: the wall clock *is*
+    the measurement, and a cached wall time is a lie about this run."""
+    return [
+        JobSpec(
+            name=f"bench.{name}",
+            target="repro.analysis.perf:bench_job",
+            kwargs={"name": name, "repeat": repeat},
+        )
+        for name in names
+    ]
+
+
+#: Ablation cells: (job name, benchmark file, cell function, kwargs).
+#: Each target is a module-level function with JSON-encodable scalar
+#: arguments — the same functions the pytest benches sweep.
+ABLATION_CELLS: tuple[tuple[str, str, str, dict], ...] = (
+    *(
+        (
+            f"ablation.selectivity.d{rate}",
+            "benchmarks/test_ablation_selectivity.py",
+            "run_density",
+            {"needle_rate": rate},
+        )
+        for rate in (0.0, 0.01, 0.10, 0.45)
+    ),
+    *(
+        (
+            f"ablation.queue_depth.q{depth}",
+            "benchmarks/test_ablation_queue_depth.py",
+            "measure_iops",
+            {"queue_depth": depth},
+        )
+        for depth in (1, 4, 16)
+    ),
+    *(
+        (
+            f"ablation.overprovisioning.op{ratio}",
+            "benchmarks/test_ablation_overprovisioning.py",
+            "run_op_ratio",
+            {"op_ratio": ratio},
+        )
+        for ratio in (0.10, 0.35)
+    ),
+)
+
+
+def ablation_jobs() -> list[JobSpec]:
+    """Ablation cells, when the benchmarks tree is available (checkouts)."""
+    if not (repo_root() / "benchmarks").is_dir():
+        return []
+    return [
+        JobSpec(name=name, target=f"file:{rel}:{func}", kwargs=dict(kwargs))
+        for name, rel, func, kwargs in ABLATION_CELLS
+    ]
+
+
+def full_matrix(quick: bool = False) -> list[JobSpec]:
+    """Everything shard-able in one list (claims, figures, ablations).
+
+    Bench scenarios are deliberately absent: they measure the host wall
+    clock and must not run concurrently with other work by default.
+    """
+    device_counts = (1, 2) if quick else (1, 2, 4)
+    return [
+        *validation_jobs(quick=quick),
+        *fig1_jobs((1, 4, 8, 16, 32, 64)),
+        *fig6_jobs("grep", device_counts),
+        *fig7_jobs(device_counts),
+        *fig8_jobs(("gzip", "gunzip", "bzip2", "bunzip2", "grep", "gawk")),
+        *ablation_jobs(),
+    ]

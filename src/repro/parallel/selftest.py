@@ -1,0 +1,38 @@
+"""Tiny importable job targets for runner self-tests and spawn smoke.
+
+Real experiment targets build whole simulated systems; these exist so the
+runner's own tests (ordering, caching, failure policy, cross-process
+equivalence) can exercise the pool without paying for a simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["boom", "digest_stream", "echo", "ping"]
+
+
+def ping(value: int = 0) -> dict:
+    """Deterministic round-trip payload."""
+    return {"value": value, "squared": value * value}
+
+
+def echo(value=None) -> dict:
+    """Returns its argument unchanged (canonicalisation tests)."""
+    return {"pong": value}
+
+
+def digest_stream(seed: int, length: int = 64) -> dict:
+    """A seeded pseudo-random byte stream's digest: any divergence between
+    in-process and spawn-worker execution shows up as a digest mismatch."""
+    state = hashlib.sha256(str(seed).encode()).digest()
+    out = bytearray()
+    while len(out) < length:
+        state = hashlib.sha256(state).digest()
+        out.extend(state)
+    return {"seed": seed, "digest": hashlib.sha256(bytes(out[:length])).hexdigest()}
+
+
+def boom(message: str = "intentional failure") -> None:
+    """Always raises (failure-policy tests)."""
+    raise RuntimeError(message)

@@ -27,3 +27,14 @@ settings.load_profile("repro")
 @pytest.fixture(autouse=True)
 def _fresh_global_ids():
     reset_global_ids()
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the parallel runner's result cache at a per-test directory.
+
+    Keeps tests from reading (or polluting) the developer's real
+    ``.repro-cache`` — cache-hit behaviour is only observable when a test
+    writes the cache itself.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

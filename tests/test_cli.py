@@ -98,3 +98,41 @@ def test_fig8_command_single_app(capsys):
     assert main(["fig8", "--apps", "grep"]) == 0
     out = capsys.readouterr().out
     assert "grep" in out and "paper ratio" in out
+
+
+# -- parallel runner flags ----------------------------------------------------
+
+def test_parallel_flags_parse_on_experiment_verbs():
+    parser = build_parser()
+    for verb in ("fig1", "fig6", "fig7", "fig8", "validate"):
+        args = parser.parse_args([verb, "--workers", "4", "--no-cache"])
+        assert args.workers == 4 and args.no_cache is True
+    args = parser.parse_args(["validate", "--cache-dir", "/tmp/x"])
+    assert args.cache_dir == "/tmp/x"
+    args = parser.parse_args(["bench", "--workers", "2"])
+    assert args.workers == 2
+
+
+def test_fig1_workers_output_matches_serial(capsys):
+    assert main(["fig1", "--devices", "1", "64", "--no-cache"]) == 0
+    serial = capsys.readouterr()
+    assert main(["fig1", "--devices", "1", "64", "--no-cache", "--workers", "2"]) == 0
+    parallel = capsys.readouterr()
+    assert parallel.out == serial.out  # stdout byte-identical at any width
+
+
+def test_run_summary_goes_to_stderr_not_stdout(capsys):
+    assert main(["fig8", "--apps", "grep"]) == 0
+    captured = capsys.readouterr()
+    assert "# parallel:" not in captured.out
+    assert "# parallel:" in captured.err
+
+
+def test_figure_cache_hit_reuses_results(capsys):
+    assert main(["fig8", "--apps", "grep"]) == 0
+    first = capsys.readouterr()
+    assert "executed=1" in first.err
+    assert main(["fig8", "--apps", "grep"]) == 0
+    second = capsys.readouterr()
+    assert second.out == first.out
+    assert "cache hits=1" in second.err and "executed=0" in second.err

@@ -125,7 +125,29 @@ def test_retry_policy_jitter_is_bounded_and_seed_deterministic():
     draws_b = [policy.backoff(1, Simulator(seed=4).rng("client.retry")) for _ in range(3)]
     assert draws_a == draws_b  # fresh stream, same seed => same jitter
     for delay in draws_a:
-        assert 0.75e-3 <= delay <= 1.25e-3
+        assert 0.75e-3 <= delay <= 1e-3  # never above the configured cap
+
+
+def test_retry_policy_jitter_never_exceeds_cap():
+    """Regression: upward jitter used to escape ``max_delay``.
+
+    With ``base_delay == max_delay`` every raw backoff sits exactly at the
+    cap, so any positive jitter draw used to push the returned delay past
+    it.  The post-jitter clamp must hold for every draw without changing
+    how many RNG values are consumed.
+    """
+    policy = RetryPolicy(base_delay=5e-4, multiplier=2.0, max_delay=1e-3, jitter=0.25)
+    rng = Simulator(seed=11).rng("client.retry")
+    delays = [policy.backoff(attempt, rng) for attempt in range(1, 41)]
+    assert all(0.0 <= d <= policy.max_delay for d in delays)
+    # some draws must actually hit the clamp, or the regression isn't exercised
+    assert any(d == policy.max_delay for d in delays)
+    # exactly one RNG draw per backoff call: a fresh stream that skips the
+    # same number of draws continues identically
+    control = Simulator(seed=11).rng("client.retry")
+    for _ in range(40):
+        control.random()
+    assert rng.random() == control.random()
 
 
 def test_retry_policy_validation():

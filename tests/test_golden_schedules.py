@@ -6,6 +6,12 @@ state is canonicalised and hashed.  The digests below were recorded before
 the simulator hot-path optimization work and must never drift: any change
 to event ordering, timing, or payloads — however small — flips the hash.
 
+The scenario builders and the canonical hashing now live in
+:mod:`repro.testing` so the parallel experiment runner can execute the
+same scenarios in ``spawn`` workers (serial/parallel digest equality is
+asserted in ``tests/test_parallel_equivalence.py``); this file keeps the
+recorded digests and the drift tests.
+
 This is the contract the perf PRs rely on: "the optimization kept schedules
 bit-identical" is proven here, not asserted in prose.  If a PR changes the
 *model* on purpose (new latency, new trace record), re-record with::
@@ -17,181 +23,14 @@ bit-identical" is proven here, not asserted in prose.  If a PR changes the
 
 from __future__ import annotations
 
-import hashlib
-from enum import Enum
-
-from repro.cluster import StorageFleet, StorageNode
-from repro.faults import BreakerConfig, FaultInjector, FaultPlan, RetryPolicy
-from repro.proto import Command
-from repro.sim import Tracer
-from repro.testing import reset_global_ids
-from repro.workloads import BookCorpus, CorpusSpec
-
-# -- canonical hashing ------------------------------------------------------
-
-
-def _canon(value) -> str:
-    """A stable, type-tagged string for anything a trace detail can hold.
-
-    Floats go through ``repr`` (exact shortest round-trip form, so any bit
-    change in a computed time shows up); containers recurse in deterministic
-    order.
-    """
-    if isinstance(value, float):
-        return f"f:{value!r}"
-    if isinstance(value, bool):
-        return f"b:{value}"
-    if isinstance(value, int):
-        return f"i:{value}"
-    if isinstance(value, str):
-        return f"s:{value}"
-    if isinstance(value, bytes):
-        return f"y:{value.hex()}"
-    if isinstance(value, Enum):
-        return f"e:{value.value}"
-    if value is None:
-        return "n"
-    if isinstance(value, dict):
-        items = ",".join(
-            f"{_canon(k)}={_canon(v)}" for k, v in sorted(value.items(), key=repr)
-        )
-        return f"d:{{{items}}}"
-    if isinstance(value, (list, tuple)):
-        return f"l:[{','.join(_canon(v) for v in value)}]"
-    return f"r:{value!r}"
-
-
-def schedule_digest(tracer: Tracer, extras: dict) -> str:
-    """SHA-256 over every trace record in emission order, plus terminal state."""
-    h = hashlib.sha256()
-    for rec in tracer:
-        h.update(
-            f"{rec.time!r}|{rec.component}|{rec.kind}|{_canon(rec.detail)}\n".encode()
-        )
-    h.update(_canon(extras).encode())
-    return h.hexdigest()
-
-
-# -- pinned scenarios -------------------------------------------------------
-
-
-def scenario_single_gzip() -> tuple[Tracer, dict]:
-    """One CompStor, one gzip minion over a staged two-book corpus."""
-    reset_global_ids()  # hermetic: digests are pure functions of (seed, model)
-    tracer = Tracer()
-    books = BookCorpus(CorpusSpec(files=2, mean_file_bytes=24 * 1024, seed=3)).generate()
-    node = StorageNode.build(
-        devices=1, seed=11, device_capacity=24 * 1024 * 1024, tracer=tracer
-    )
-    sim = node.sim
-    sim.run(sim.process(node.stage_corpus(books, compressed=False)))
-
-    def job():
-        responses = []
-        for book in books:
-            response = yield from node.client.run(
-                "compstor0", f"gzip {book.name}"
-            )
-            responses.append(response)
-        return responses
-
-    responses = sim.run(sim.process(job()))
-    extras = {
-        "finished_at": sim.now,
-        "stdout": [r.stdout for r in responses],
-        "exec_seconds": [r.execution_seconds for r in responses],
-        "flash": [
-            node.compstors[0].flash.stats.reads,
-            node.compstors[0].flash.stats.programs,
-        ],
-    }
-    return tracer, extras
-
-
-def scenario_fleet_grep() -> tuple[Tracer, dict]:
-    """2 nodes x 2 devices, one replicated ``run_job`` grep sweep."""
-    reset_global_ids()
-    tracer = Tracer()
-    fleet = StorageFleet.build(
-        nodes=2, devices_per_node=2, seed=7,
-        device_capacity=24 * 1024 * 1024, tracer=tracer,
-    )
-    sim = fleet.sim
-    books = BookCorpus(
-        CorpusSpec(files=8, mean_file_bytes=24 * 1024, seed=5)
-    ).generate()
-    sim.run(sim.process(fleet.stage_corpus(books, replicas=2)))
-
-    def job():
-        return (
-            yield from fleet.run_job(
-                books, lambda b: Command(command_line=f"grep xylophone {b.name}")
-            )
-        )
-
-    report = sim.run(sim.process(job()))
-    extras = {
-        "finished_at": sim.now,
-        "statuses": [None if r is None else r.status.value for r in report.responses],
-        "stdout": [None if r is None else r.stdout for r in report.responses],
-        "accounting": [
-            report.dispatched, report.completed, report.recovered,
-            list(report.lost), report.retries, report.failovers,
-            report.host_fallbacks,
-        ],
-    }
-    return tracer, extras
-
-
-def scenario_chaos_drill() -> tuple[Tracer, dict]:
-    """Replicated fleet job under a fixed fault plan (crash + transients)."""
-    reset_global_ids()
-    tracer = Tracer()
-    fleet = StorageFleet.build(
-        nodes=2, devices_per_node=2, seed=13,
-        device_capacity=24 * 1024 * 1024, tracer=tracer,
-        retry_policy=RetryPolicy(), breaker_config=BreakerConfig(),
-    )
-    sim = fleet.sim
-    books = BookCorpus(
-        CorpusSpec(files=6, mean_file_bytes=16 * 1024, seed=13)
-    ).generate()
-    sim.run(sim.process(fleet.stage_corpus(books, replicas=2)))
-    ring = fleet.device_ring()
-    plan = (
-        FaultPlan(seed=13)
-        .kill_device(*ring[1], at=sim.now + 2e-4, recover_after=2e-3)
-        .transient_window(*ring[2], at=sim.now, duration=1e-3, fraction=0.5)
-    )
-    injector = FaultInjector.for_fleet(fleet, plan).start()
-
-    def job():
-        return (
-            yield from fleet.run_job(
-                books, lambda b: Command(command_line=f"grep xylophone {b.name}")
-            )
-        )
-
-    report = sim.run(sim.process(job()))
-    extras = {
-        "fingerprint": plan.fingerprint(),
-        "applied": list(injector.applied),
-        "finished_at": sim.now,
-        "statuses": [None if r is None else r.status.value for r in report.responses],
-        "accounting": [
-            report.dispatched, report.completed, report.recovered,
-            list(report.lost), report.retries, report.failovers,
-            report.host_fallbacks,
-        ],
-    }
-    return tracer, extras
-
-
-SCENARIOS = {
-    "single_gzip": scenario_single_gzip,
-    "fleet_grep": scenario_fleet_grep,
-    "chaos_drill": scenario_chaos_drill,
-}
+from repro.testing import (
+    GOLDEN_SCENARIOS as SCENARIOS,
+    canonical_value as _canon,  # noqa: F401  (back-compat re-export)
+    schedule_digest,
+    scenario_chaos_drill,
+    scenario_fleet_grep,
+    scenario_single_gzip,
+)
 
 #: Recorded from the pre-optimization simulator (PR 3 seed state), then
 #: re-recorded once when the scenarios became hermetic: ID allocators

@@ -65,11 +65,38 @@ def test_histogram_count_sum_percentiles():
     assert hist.percentile(1.0, device="d0") <= 0.5 + 1e-9
 
 
-def test_histogram_overflow_bucket_clamps_to_max():
+def test_histogram_overflow_bucket_interpolates_min_to_max():
+    """Regression: a distribution living entirely in the ``+Inf`` bucket
+    used to collapse every quantile to the observed maximum."""
     hist = MetricsRegistry().histogram("lat", buckets=(0.001,))
     hist.observe(5.0)
     hist.observe(9.0)
-    assert hist.percentile(0.99) == pytest.approx(9.0)
+    assert hist.percentile(0.0) == pytest.approx(5.0)  # true minimum
+    assert hist.percentile(0.5) == pytest.approx(7.0)  # midpoint of [min, max]
+    assert hist.percentile(0.99) == pytest.approx(8.96)
+    assert hist.percentile(1.0) == pytest.approx(9.0)
+
+
+def test_histogram_percentile_q0_returns_true_minimum():
+    """Regression: ``q=0`` used to report the containing bucket's lower
+    bound instead of the smallest observation."""
+    hist = MetricsRegistry().histogram("lat", buckets=(0.001, 0.01, 0.1))
+    hist.observe(0.002)
+    hist.observe(0.005)
+    assert hist.percentile(0.0) == pytest.approx(0.002)
+    # single-observation histogram: every quantile is that observation
+    solo = MetricsRegistry().histogram("solo", buckets=(0.001, 0.01))
+    solo.observe(0.004)
+    for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+        assert solo.percentile(q) == pytest.approx(0.004)
+
+
+def test_histogram_aggregate_percentile_merges_min():
+    hist = MetricsRegistry().histogram("lat", buckets=(0.001,))
+    hist.observe(5.0, device="d0")
+    hist.observe(9.0, device="d1")
+    assert hist.aggregate_percentile(0.0) == pytest.approx(5.0)
+    assert hist.aggregate_percentile(1.0) == pytest.approx(9.0)
 
 
 def test_histogram_aggregate_percentile_merges_label_sets():
@@ -173,6 +200,36 @@ def test_prometheus_export_conventions():
     assert 'repro_nvme_command_latency_seconds_count{device="d0"} 2' in text
 
 
+def test_prometheus_label_values_are_escaped():
+    """Regression: label values hit the exposition text unescaped, so a
+    quote/backslash/newline in a value corrupted every following line."""
+    registry = MetricsRegistry()
+    registry.counter("jobs.completed").inc(job='say "hi"\\n', path="a\nb")
+    text = to_prometheus(registry)
+    assert '\\"hi\\"' in text  # " -> \"
+    assert "\\\\n" in text  # literal backslash-n -> \\n
+    assert "a\\nb" in text  # real newline -> \n escape sequence
+    # the exposition stays line-structured: one sample line for the family
+    sample_lines = [
+        line for line in text.splitlines()
+        if line.startswith("repro_jobs_completed_total{")
+    ]
+    assert len(sample_lines) == 1
+    assert sample_lines[0].endswith(" 1")
+
+
+def test_prometheus_histogram_sum_uses_fmt():
+    """Regression: ``_sum`` was rendered with ``repr`` (``3.0`` instead of
+    the exporter's canonical integer form ``3``)."""
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=(0.5,))
+    hist.observe(1.0, device="d0")
+    hist.observe(2.0, device="d0")
+    text = to_prometheus(registry)
+    assert 'repro_lat_sum{device="d0"} 3\n' in text
+    assert 'repro_lat_sum{device="d0"} 3.0' not in text
+
+
 def test_json_lines_roundtrip():
     out = to_json_lines(build_populated_registry())
     records = [json.loads(line) for line in out.strip().splitlines()]
@@ -182,6 +239,8 @@ def test_json_lines_roundtrip():
     assert by_name["ftl.gc.collections"]["time"] == 1.0
     hist = by_name["nvme.command.latency_seconds"]
     assert hist["count"] == 2
+    assert hist["min"] == 0.0005
+    assert hist["max"] == 0.5
     assert hist["buckets"] == {"0.001": 1, "+Inf": 1}
 
 
