@@ -10,35 +10,36 @@ degrades instead of failing, and the report accounts for every minion:
 ``completed + recovered + lost == dispatched``.
 
 Run:  python examples/chaos_drill.py
-      python -m repro chaos --kill 1@0.2 --transient 2@0.0   # CLI twin
+      python -m repro chaos --preset chaos-drill              # CLI twin
 """
 
 from repro.analysis.experiments import format_series_table
-from repro.cluster import StorageFleet
-from repro.faults import BreakerConfig, FaultInjector, FaultPlan, RetryPolicy
+from repro.config import (
+    build_corpus,
+    build_fault_plan,
+    build_fleet,
+    config_digest,
+    preset,
+)
+from repro.faults import FaultInjector
 from repro.proto import Command
-from repro.workloads import BookCorpus, CorpusSpec
 
 
 def main() -> None:
-    fleet = StorageFleet.build(
-        nodes=2,
-        devices_per_node=2,
-        device_capacity=24 * 1024 * 1024,
-        retry_policy=RetryPolicy(),          # backoff for transient faults
-        breaker_config=BreakerConfig(),      # fail-fast on persistent death
-    )
+    # The whole drill — fleet shape, replicas, retry/breaker policy, and
+    # the fault schedule itself — is the pinned ``chaos-drill`` preset.
+    scenario = preset("chaos-drill")
+    print(f"scenario {scenario.name} digest={config_digest(scenario)[:16]}")
+    fleet = build_fleet(scenario)
     sim = fleet.sim
-    books = BookCorpus(CorpusSpec(files=8, mean_file_bytes=32 * 1024)).generate()
-    sim.run(sim.process(fleet.stage_corpus(books, replicas=2)))
-
-    # schedule the trouble: one permanent crash, one flaky window
-    ring = fleet.device_ring()
-    plan = (
-        FaultPlan()
-        .kill_device(*ring[1], at=sim.now + 2e-4)                    # dies mid-job
-        .transient_window(*ring[2], at=sim.now, duration=1e-3, fraction=0.4)
+    books = build_corpus(scenario)
+    sim.run(
+        sim.process(fleet.stage_corpus(books, replicas=scenario.fleet.replicas))
     )
+
+    # arm the declarative fault plan: a crash mid-job plus a flaky window
+    ring = fleet.device_ring()
+    plan = build_fault_plan(scenario, ring, base_time=sim.now)
     print(format_series_table(
         f"fault plan (fingerprint={plan.fingerprint()})",
         ["t (ms)", "kind", "target", "detail"], plan.describe_rows(),

@@ -11,17 +11,33 @@ Run:  python examples/fleet_operations.py
 """
 
 from repro.analysis.experiments import format_series_table
-from repro.cluster import StorageFleet
+from repro.config import (
+    FlashConfig,
+    FleetConfig,
+    ScenarioConfig,
+    build_corpus,
+    build_fleet,
+    config_digest,
+)
 from repro.obs import HealthAggregator
 from repro.proto import Command
-from repro.workloads import BookCorpus, CorpusSpec
+from repro.workloads import CorpusSpec
+
+#: A 2x2 rack and its workload, declared once; the corpus and the fleet
+#: both derive from it so they can never drift apart.
+SCENARIO = ScenarioConfig(
+    name="fleet-ops",
+    flash=FlashConfig(capacity_bytes=32 * 1024 * 1024),
+    fleet=FleetConfig(nodes=2, devices_per_node=2),
+    corpus=CorpusSpec(files=12, mean_file_bytes=64 * 1024),
+)
 
 
 def main() -> None:
-    fleet = StorageFleet.build(nodes=2, devices_per_node=2,
-                               device_capacity=32 * 1024 * 1024)
+    print(f"scenario {SCENARIO.name} digest={config_digest(SCENARIO)[:16]}")
+    fleet = build_fleet(SCENARIO)
     sim = fleet.sim
-    books = BookCorpus(CorpusSpec(files=12, mean_file_bytes=64 * 1024)).generate()
+    books = build_corpus(SCENARIO)
     sim.run(sim.process(fleet.stage_corpus(books)))
 
     aggregator = HealthAggregator()

@@ -10,11 +10,27 @@ driver -> FTL -> NAND) in a dozen lines of user code.
 Run:  python examples/quickstart.py
 """
 
-from repro.cluster import StorageNode
+from repro.config import (
+    FlashConfig,
+    FleetConfig,
+    ScenarioConfig,
+    build_node,
+    config_digest,
+)
+
+#: The whole experiment as one declarative value.  Its digest identifies
+#: the run; ``python -m repro config show`` can reprint any preset the
+#: same way.
+SCENARIO = ScenarioConfig(
+    name="quickstart",
+    flash=FlashConfig(capacity_bytes=16 * 1024 * 1024),
+    fleet=FleetConfig(devices_per_node=2),
+)
 
 
 def main() -> None:
-    node = StorageNode.build(devices=2, device_capacity=16 * 1024 * 1024)
+    print(f"scenario {SCENARIO.name} digest={config_digest(SCENARIO)[:16]}")
+    node = build_node(SCENARIO)
     sim = node.sim
     ssd = node.compstors[0]
 

@@ -24,6 +24,7 @@ Subpackage map (bottom-up):
 - ``repro.power`` — component power models and the energy meter
 - ``repro.baselines`` — host-only / shared-core / FPGA comparators, Table I
 - ``repro.cluster``   — multi-device nodes, dispatch, load balancing
+- ``repro.config``    — typed scenario tree, presets, digests, factories
 - ``repro.analysis``  — calibration constants, experiment harness, reports
 """
 

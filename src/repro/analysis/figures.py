@@ -10,13 +10,14 @@ approach paper scale.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Generator, Sequence
 
 from repro.analysis.calibration import PAPER_FIG8_J_PER_GB
 from repro.analysis.experiments import linear_fit, throughput_mb_s
 from repro.baselines.hostonly import HostOnlyRunner
 from repro.cluster.node import StorageNode
+from repro.config import ScenarioConfig, scenario_from_dict
 from repro.flash import FlashArray
 from repro.pcie import PcieFabric
 from repro.proto.entities import Command
@@ -110,17 +111,48 @@ def _stage_and_commands(
 def _corpus_for(app: str, spec: CorpusSpec, functional: bool):
     """Generate a corpus whose on-device form suits ``app``."""
     if app == "gunzip":
-        spec = CorpusSpec(
-            files=spec.files, mean_file_bytes=spec.mean_file_bytes,
-            size_spread=spec.size_spread, seed=spec.seed, compressions=("gzip",),
-        )
+        spec = replace(spec, compressions=("gzip",))
     elif app == "bunzip2":
-        spec = CorpusSpec(
-            files=spec.files, mean_file_bytes=spec.mean_file_bytes,
-            size_spread=spec.size_spread, seed=spec.seed, compressions=("bzip2",),
-        )
+        spec = replace(spec, compressions=("bzip2",))
     books = BookCorpus(spec).generate(functional=functional)
     return books
+
+
+def _build_node(
+    count: int,
+    functional: bool,
+    device_capacity: int,
+    with_baseline_ssd: bool = False,
+    scenario: ScenarioConfig | None = None,
+) -> StorageNode:
+    """The figure runners' node: from the scenario when given, else legacy.
+
+    Both paths share one construction sequence
+    (:func:`repro.config.factory.build_node`); the scenario path simply
+    carries the full typed description (FTL/ECC/NVMe/CPU knobs included)
+    instead of the three scalars.
+    """
+    if scenario is None:
+        return StorageNode.build(
+            devices=count, device_capacity=device_capacity,
+            store_data=functional, with_baseline_ssd=with_baseline_ssd,
+        )
+    from repro.config.factory import build_node
+
+    cell = replace(
+        scenario,
+        flash=replace(
+            scenario.flash,
+            capacity_bytes=device_capacity,
+            store_data=functional,
+        ),
+        fleet=replace(
+            scenario.fleet,
+            devices_per_node=count,
+            with_baseline_ssd=with_baseline_ssd,
+        ),
+    )
+    return build_node(cell)
 
 
 def _input_bytes(books, app: str) -> int:
@@ -136,6 +168,7 @@ def run_fig6(
     functional: bool = True,
     device_capacity: int = 48 * 1024 * 1024,
     scale_dataset_with_devices: bool = True,
+    scenario: ScenarioConfig | None = None,
 ) -> list[tuple[int, float]]:
     """Throughput (MB/s of input scanned) vs number of CompStors.
 
@@ -143,11 +176,18 @@ def run_fig6(
     data per each CompStor"): the file count grows with the device count, so
     per-device work is constant and aggregate throughput scales with N.
     Returns ``[(n_devices, throughput_mb_s), ...]``.
+
+    ``scenario`` supersedes ``spec``/``functional``/``device_capacity`` and
+    additionally threads its FTL/ECC/NVMe/CPU sections into construction.
     """
+    if scenario is not None:
+        spec = scenario.corpus
+        functional = scenario.flash.store_data
+        device_capacity = scenario.flash.capacity_bytes
     return [
         _fig6_one(
             app, count, spec, functional, device_capacity,
-            scale_dataset_with_devices,
+            scale_dataset_with_devices, scenario,
         )
         for count in device_counts
     ]
@@ -160,23 +200,14 @@ def _fig6_one(
     functional: bool,
     device_capacity: int,
     scale_dataset_with_devices: bool,
+    scenario: ScenarioConfig | None = None,
 ) -> tuple[int, float]:
     """One Fig. 6 cell: throughput of ``app`` on a ``count``-device node."""
     spec_n = spec
     if scale_dataset_with_devices:
-        spec_n = CorpusSpec(
-            files=spec.files * count,
-            mean_file_bytes=spec.mean_file_bytes,
-            size_spread=spec.size_spread,
-            needle=spec.needle,
-            needle_rate=spec.needle_rate,
-            seed=spec.seed,
-            compressions=spec.compressions,
-        )
+        spec_n = replace(spec, files=spec.files * count)
     books = _corpus_for(app, spec_n, functional)
-    node = StorageNode.build(
-        devices=count, device_capacity=device_capacity, store_data=functional
-    )
+    node = _build_node(count, functional, device_capacity, scenario=scenario)
     compressed = app in ("gunzip", "bunzip2")
     node.sim.run(node.sim.process(node.stage_corpus(books, compressed=compressed)))
     assignments = _stage_and_commands(node, books, app)
@@ -203,12 +234,22 @@ def fig6_cell(
     functional: bool = True,
     device_capacity: int = 48 * 1024 * 1024,
     scale_dataset_with_devices: bool = True,
+    scenario: dict | None = None,
 ) -> list:
     """One Fig. 6 cell as a JSON-encodable parallel-runner work item.
 
-    Defaults reproduce :data:`DEFAULT_FIG6_SPEC`; the corpus spec is passed
-    as scalars so the job's kwargs are picklable and cache-keyable.
+    Defaults reproduce :data:`DEFAULT_FIG6_SPEC`.  ``scenario`` is a
+    :class:`~repro.config.ScenarioConfig` as a plain dict (the form job
+    kwargs travel in, so it participates in the cache key); it supersedes
+    the scalar corpus/capacity kwargs.
     """
+    if scenario is not None:
+        config = scenario_from_dict(scenario)
+        count, throughput = _fig6_one(
+            app, devices, config.corpus, config.flash.store_data,
+            config.flash.capacity_bytes, scale_dataset_with_devices, config,
+        )
+        return [count, throughput]
     spec = CorpusSpec(
         files=files, mean_file_bytes=mean_file_bytes,
         size_spread=size_spread, seed=seed,
@@ -236,17 +277,23 @@ def run_fig7(
     spec: CorpusSpec = DEFAULT_FIG6_SPEC,
     functional: bool = True,
     device_capacity: int = 48 * 1024 * 1024,
+    scenario: ScenarioConfig | None = None,
 ) -> list[dict]:
     """Host and device bzip2 throughput measured separately, then combined.
 
     Returns rows ``{"devices": n, "host_mb_s": .., "compstor_mb_s": ..,
     "aggregate_mb_s": ..}``.
     """
+    if scenario is not None:
+        spec = scenario.corpus
+        functional = scenario.flash.store_data
+        device_capacity = scenario.flash.capacity_bytes
     # Host throughput is independent of the device count: measure once.
-    host_tp = _fig7_host(spec, functional, device_capacity)
+    host_tp = _fig7_host(spec, functional, device_capacity, scenario)
     device_curve = run_fig6(
         app="bzip2", device_counts=device_counts, spec=spec,
         functional=functional, device_capacity=device_capacity,
+        scenario=scenario,
     )
     return [
         {
@@ -259,12 +306,16 @@ def run_fig7(
     ]
 
 
-def _fig7_host(spec: CorpusSpec, functional: bool, device_capacity: int) -> float:
+def _fig7_host(
+    spec: CorpusSpec,
+    functional: bool,
+    device_capacity: int,
+    scenario: ScenarioConfig | None = None,
+) -> float:
     """Host-only bzip2 throughput over the Fig. 7 corpus (MB/s)."""
     books = _corpus_for("bzip2", spec, functional)
-    node = StorageNode.build(
-        devices=1, device_capacity=device_capacity, store_data=functional,
-        with_baseline_ssd=True,
+    node = _build_node(
+        1, functional, device_capacity, with_baseline_ssd=True, scenario=scenario
     )
     node.sim.run(
         node.sim.process(node.stage_corpus(books, compressed=False, include_host=True))
@@ -290,8 +341,15 @@ def fig7_host_cell(
     seed: int = DEFAULT_FIG6_SPEC.seed,
     functional: bool = True,
     device_capacity: int = 48 * 1024 * 1024,
+    scenario: dict | None = None,
 ) -> float:
     """The Fig. 7 host-only measurement as a parallel-runner work item."""
+    if scenario is not None:
+        config = scenario_from_dict(scenario)
+        return _fig7_host(
+            config.corpus, config.flash.store_data,
+            config.flash.capacity_bytes, config,
+        )
     spec = CorpusSpec(
         files=files, mean_file_bytes=mean_file_bytes,
         size_spread=size_spread, seed=seed,
@@ -328,10 +386,16 @@ FIG8_APPS = ("gzip", "gunzip", "bzip2", "bunzip2", "grep", "gawk")
 DEFAULT_FIG8_SPEC = CorpusSpec(files=8, mean_file_bytes=256 * 1024, size_spread=0.1)
 
 
-def _device_energy_run(app: str, spec: CorpusSpec, functional: bool, capacity: int) -> float:
+def _device_energy_run(
+    app: str,
+    spec: CorpusSpec,
+    functional: bool,
+    capacity: int,
+    scenario: ScenarioConfig | None = None,
+) -> float:
     """CompStor-side J/GB (device-only attribution, per the calibration)."""
     books = _corpus_for(app, spec, functional)
-    node = StorageNode.build(devices=1, device_capacity=capacity, store_data=functional)
+    node = _build_node(1, functional, capacity, scenario=scenario)
     compressed = app in ("gunzip", "bunzip2")
     node.sim.run(node.sim.process(node.stage_corpus(books, compressed=compressed)))
     assignments = _stage_and_commands(node, books, app)
@@ -347,11 +411,17 @@ def _device_energy_run(app: str, spec: CorpusSpec, functional: bool, capacity: i
     return device_j / (_input_bytes(books, app) / 1e9)
 
 
-def _host_energy_run(app: str, spec: CorpusSpec, functional: bool, capacity: int) -> float:
+def _host_energy_run(
+    app: str,
+    spec: CorpusSpec,
+    functional: bool,
+    capacity: int,
+    scenario: ScenarioConfig | None = None,
+) -> float:
     """Xeon-side J/GB (whole-server attribution)."""
     books = _corpus_for(app, spec, functional)
-    node = StorageNode.build(
-        devices=1, device_capacity=capacity, store_data=functional, with_baseline_ssd=True
+    node = _build_node(
+        1, functional, capacity, with_baseline_ssd=True, scenario=scenario
     )
     compressed = app in ("gunzip", "bunzip2")
     node.sim.run(
@@ -380,13 +450,21 @@ def _host_energy_run(app: str, spec: CorpusSpec, functional: bool, capacity: int
 
 
 def _fig8_row(
-    app: str, spec: CorpusSpec, functional: bool, device_capacity: int
+    app: str,
+    spec: CorpusSpec,
+    functional: bool,
+    device_capacity: int,
+    scenario: ScenarioConfig | None = None,
 ) -> Fig8Row:
     paper_c, paper_x = PAPER_FIG8_J_PER_GB[app]
     return Fig8Row(
         app=app,
-        compstor_j_per_gb=_device_energy_run(app, spec, functional, device_capacity),
-        xeon_j_per_gb=_host_energy_run(app, spec, functional, device_capacity),
+        compstor_j_per_gb=_device_energy_run(
+            app, spec, functional, device_capacity, scenario
+        ),
+        xeon_j_per_gb=_host_energy_run(
+            app, spec, functional, device_capacity, scenario
+        ),
         paper_compstor=paper_c,
         paper_xeon=paper_x,
     )
@@ -397,9 +475,16 @@ def run_fig8(
     spec: CorpusSpec = DEFAULT_FIG8_SPEC,
     functional: bool = True,
     device_capacity: int = 48 * 1024 * 1024,
+    scenario: ScenarioConfig | None = None,
 ) -> list[Fig8Row]:
     """Energy per GB of input for each app on both platforms."""
-    return [_fig8_row(app, spec, functional, device_capacity) for app in apps]
+    if scenario is not None:
+        spec = scenario.corpus
+        functional = scenario.flash.store_data
+        device_capacity = scenario.flash.capacity_bytes
+    return [
+        _fig8_row(app, spec, functional, device_capacity, scenario) for app in apps
+    ]
 
 
 def fig8_cell(
@@ -410,8 +495,16 @@ def fig8_cell(
     seed: int = DEFAULT_FIG8_SPEC.seed,
     functional: bool = True,
     device_capacity: int = 48 * 1024 * 1024,
+    scenario: dict | None = None,
 ) -> dict:
     """One Fig. 8 app row as a JSON-encodable parallel-runner work item."""
+    if scenario is not None:
+        config = scenario_from_dict(scenario)
+        row = _fig8_row(
+            app, config.corpus, config.flash.store_data,
+            config.flash.capacity_bytes, config,
+        )
+        return asdict(row)
     spec = CorpusSpec(
         files=files, mean_file_bytes=mean_file_bytes,
         size_spread=size_spread, seed=seed,

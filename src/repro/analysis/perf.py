@@ -32,9 +32,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Generator, Sequence
 
-from repro.cluster.node import StorageNode
+from repro.config import ScenarioConfig, build_corpus, build_node
+from repro.config.factory import scenario_for_node
 from repro.proto.entities import Command
-from repro.workloads import BookCorpus, CorpusSpec
+from repro.workloads import CorpusSpec
 
 __all__ = [
     "BenchResult",
@@ -72,24 +73,35 @@ class BenchScenario:
     def files(self) -> int:
         return self.devices * self.files_per_device
 
+    def config(self) -> ScenarioConfig:
+        """This measurement as a typed scenario (digested in bench logs)."""
+        from dataclasses import replace
+
+        base = scenario_for_node(
+            name=f"bench-{self.name}",
+            devices=self.devices,
+            seed=self.seed,
+            device_capacity=48 * 1024 * 1024,
+            store_data=True,
+        )
+        return replace(
+            base,
+            corpus=CorpusSpec(
+                files=self.files,
+                mean_file_bytes=self.mean_file_bytes,
+                size_spread=0.2,
+                seed=self.seed,
+            ),
+        )
+
     def build(self):
         """Construct the staged system; returns ``(node, books)``.
 
         Everything here is setup and excluded from the timed region.
         """
-        books = BookCorpus(
-            CorpusSpec(
-                files=self.files,
-                mean_file_bytes=self.mean_file_bytes,
-                size_spread=0.2,
-                seed=self.seed,
-            )
-        ).generate()
-        node = StorageNode.build(
-            devices=self.devices,
-            seed=self.seed,
-            device_capacity=48 * 1024 * 1024,
-        )
+        config = self.config()
+        books = build_corpus(config)
+        node = build_node(config)
         node.sim.run(node.sim.process(node.stage_corpus(books, compressed=False)))
         return node, books
 

@@ -9,8 +9,14 @@
     python -m repro table1
     python -m repro validate --workers 4 # shard the scorecard across cores
     python -m repro quickstart           # the quickstart scenario
+    python -m repro config presets       # scenario registry + digests
 
 Every command prints the same table its benchmark counterpart asserts on.
+
+The experiment verbs (``fig6``/``fig7``/``fig8``/``validate``/``chaos``)
+take ``--preset NAME`` and repeatable ``--set path=value`` scenario
+overrides; each run prints a ``# scenario <name> digest=<sha256>`` header
+that ``config show`` can expand back into the full configuration.
 
 The matrix-shaped verbs (``validate``, ``bench``, and the figure verbs)
 accept ``--workers N`` to shard their independent seeded cells across a
@@ -30,8 +36,29 @@ from typing import Sequence
 from repro.analysis.experiments import format_series_table
 from repro.analysis.figures import FIG8_APPS, Fig1Row, Fig8Row, fig6_linearity
 from repro.baselines import table1_rows
+from repro.config.cli import (
+    add_config_subparser,
+    add_scenario_args,
+    scenario_from_args,
+    scenario_header,
+)
 
 __all__ = ["main"]
+
+
+def _scenario_payload(args: argparse.Namespace):
+    """``(config, to_dict(config))`` for a verb's scenario flags, or Nones.
+
+    The header is printed here — in the parent process, before any tables —
+    so stdout stays byte-identical at every ``--workers`` count.
+    """
+    config = scenario_from_args(args)
+    if config is None:
+        return None, None
+    from repro.config import to_dict
+
+    print(scenario_header(config))
+    return config, to_dict(config)
 
 
 def _add_parallel_args(
@@ -94,7 +121,10 @@ def _cmd_fig1(args: argparse.Namespace) -> None:
 def _cmd_fig6(args: argparse.Namespace) -> None:
     from repro.parallel import fig6_jobs
 
-    report = _run_matrix(fig6_jobs(args.app, tuple(args.devices)), args)
+    _, payload = _scenario_payload(args)
+    report = _run_matrix(
+        fig6_jobs(args.app, tuple(args.devices), scenario=payload), args
+    )
     results = [tuple(value) for value in report.values()]
     slope, _, r2 = fig6_linearity(results)
     print(format_series_table(
@@ -108,7 +138,8 @@ def _cmd_fig6(args: argparse.Namespace) -> None:
 def _cmd_fig7(args: argparse.Namespace) -> None:
     from repro.parallel import fig7_jobs
 
-    report = _run_matrix(fig7_jobs(tuple(args.devices)), args)
+    _, payload = _scenario_payload(args)
+    report = _run_matrix(fig7_jobs(tuple(args.devices), scenario=payload), args)
     host_tp = report.results[0].value
     rows = [
         {
@@ -130,7 +161,8 @@ def _cmd_fig7(args: argparse.Namespace) -> None:
 def _cmd_fig8(args: argparse.Namespace) -> None:
     from repro.parallel import fig8_jobs
 
-    report = _run_matrix(fig8_jobs(tuple(args.apps)), args)
+    _, payload = _scenario_payload(args)
+    report = _run_matrix(fig8_jobs(tuple(args.apps), scenario=payload), args)
     rows = [Fig8Row(**value) for value in report.values()]
     print(format_series_table(
         "Fig. 8 — energy per GB (J/GB), measured vs paper",
@@ -222,20 +254,31 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
     from repro.proto import Command
     from repro.workloads import BookCorpus, CorpusSpec
 
-    fleet = StorageFleet.build(
-        nodes=args.nodes,
-        devices_per_node=args.devices,
-        seed=args.seed,
-        device_capacity=24 * 1024 * 1024,
-        retry_policy=RetryPolicy(),
-        breaker_config=BreakerConfig(),
-    )
+    config, _ = _scenario_payload(args)
+    if config is not None:
+        from repro.config import build_corpus, build_fleet
+
+        fleet = build_fleet(config)
+        books = build_corpus(config)
+        replicas = config.fleet.replicas
+        seed = config.seed
+    else:
+        fleet = StorageFleet.build(
+            nodes=args.nodes,
+            devices_per_node=args.devices,
+            seed=args.seed,
+            device_capacity=24 * 1024 * 1024,
+            retry_policy=RetryPolicy(),
+            breaker_config=BreakerConfig(),
+        )
+        books = BookCorpus(
+            CorpusSpec(files=args.books, mean_file_bytes=32 * 1024, seed=args.seed)
+        ).generate()
+        replicas = args.replicas
+        seed = args.seed
     ring = fleet.device_ring()
-    books = BookCorpus(
-        CorpusSpec(files=args.books, mean_file_bytes=32 * 1024, seed=args.seed)
-    ).generate()
     fleet.sim.run(
-        fleet.sim.process(fleet.stage_corpus(books, replicas=args.replicas))
+        fleet.sim.process(fleet.stage_corpus(books, replicas=replicas))
     )
     start = fleet.sim.now
 
@@ -246,7 +289,11 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
             yield node, device, start + float(when or "0") * 1e-3
 
     ms = lambda value: None if value is None else value * 1e-3
-    plan = FaultPlan(seed=args.seed)
+    if config is not None and config.faults.any:
+        # the scenario's declarative fault plan; CLI flags stack on top
+        plan = FaultPlan.from_config(config.faults, ring, base_time=start)
+    else:
+        plan = FaultPlan(seed=seed)
     for node, device, at in targets(args.kill):
         plan.kill_device(node, device, at, recover_after=ms(args.recover_after))
     for node, device, at in targets(args.agent_crash):
@@ -260,11 +307,11 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
         )
     if args.random:
         for event in FaultPlan.random(
-            args.seed, ring, horizon=start + 10e-3, faults=args.random
+            seed, ring, horizon=start + 10e-3, faults=args.random
         ).events():
             plan.add(event)
     print(format_series_table(
-        f"fault plan (seed={args.seed}, fingerprint={plan.fingerprint()})",
+        f"fault plan (seed={seed}, fingerprint={plan.fingerprint()})",
         ["t (ms)", "kind", "target", "detail"],
         plan.describe_rows() or [["-", "none", "-", "fault-free drill"]],
     ))
@@ -412,7 +459,8 @@ def _cmd_validate(args: argparse.Namespace) -> None:
     from repro.analysis.validation import Claim
     from repro.parallel import validation_jobs
 
-    report = _run_matrix(validation_jobs(quick=args.quick), args)
+    _, payload = _scenario_payload(args)
+    report = _run_matrix(validation_jobs(quick=args.quick, scenario=payload), args)
     claims = [Claim(**value) for value in report.values()]
     rows = [
         [("PASS" if c.passed else "FAIL"), c.source, c.claim, c.measured]
@@ -461,17 +509,20 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["grep", "gawk", "gzip", "gunzip", "bzip2", "bunzip2"])
     p.add_argument("--devices", type=int, nargs="+", default=[1, 2, 4])
     _add_parallel_args(p)
+    add_scenario_args(p, default_preset="fig6")
     p.set_defaults(func=_cmd_fig6)
 
     p = sub.add_parser("fig7", help="aggregate host+devices bzip2 (Fig. 7)")
     p.add_argument("--devices", type=int, nargs="+", default=[1, 2, 4])
     _add_parallel_args(p)
+    add_scenario_args(p, default_preset="fig6")
     p.set_defaults(func=_cmd_fig7)
 
     p = sub.add_parser("fig8", help="energy per GB (Fig. 8)")
     p.add_argument("--apps", nargs="+", default=list(FIG8_APPS),
                    choices=list(FIG8_APPS))
     _add_parallel_args(p)
+    add_scenario_args(p, default_preset="fig8-ablation")
     p.set_defaults(func=_cmd_fig8)
 
     p = sub.add_parser("table1", help="related-work capability matrix (Table I)")
@@ -512,6 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--transient-duration", type=float, default=2.0, help="ms")
     p.add_argument("--random", type=int, default=0, metavar="N",
                    help="add N random faults derived deterministically from --seed")
+    add_scenario_args(p)
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("metrics", help="observability dump: metrics + span tree")
@@ -541,10 +593,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("validate", help="grade every paper claim (scorecard)")
     p.add_argument("--quick", action="store_true", help="smaller device sweep")
     _add_parallel_args(p)
+    add_scenario_args(p, default_preset="fig6")
     p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser("quickstart", help="minimal end-to-end in-situ grep")
     p.set_defaults(func=_cmd_quickstart)
+
+    add_config_subparser(sub)
 
     return parser
 

@@ -124,25 +124,20 @@ class StorageFleet:
         retry_policy: RetryPolicy | None = None,
         breaker_config: BreakerConfig | None = None,
     ) -> "StorageFleet":
-        if nodes < 1:
-            raise ValueError("nodes must be >= 1")
-        sim = Simulator(seed=seed)
-        if metrics is not None and metrics.clock is None:
-            metrics.bind_clock(lambda: sim.now)
-        built = [
-            StorageNode.build(
-                devices=devices_per_node,
-                sim=sim,
-                device_capacity=device_capacity,
-                store_data=store_data,
-                metrics=metrics,
-                tracer=tracer,
-                retry_policy=retry_policy,
-                breaker_config=breaker_config,
-            )
-            for _ in range(nodes)
-        ]
-        return cls(sim, built, metrics=metrics)
+        """Thin wrapper over :func:`repro.config.factory.build_fleet` (the
+        kwargs map one-to-one onto scenario fields)."""
+        from repro.config.factory import build_fleet, scenario_for_node
+
+        config = scenario_for_node(
+            nodes=nodes,
+            devices=devices_per_node,
+            seed=seed,
+            device_capacity=device_capacity,
+            store_data=store_data,
+            retry_policy=retry_policy,
+            breaker_config=breaker_config,
+        )
+        return build_fleet(config, tracer=tracer, metrics=metrics)
 
     # -- topology -----------------------------------------------------------
     @property

@@ -23,7 +23,6 @@ from repro.pcie import PcieFabric
 from repro.power import PowerMeter
 from repro.sim import Simulator, Tracer
 from repro.ssd import CompStorSSD, ConventionalSSD
-from repro.ssd.conventional import small_geometry
 from repro.workloads import BookFile, partition_round_robin
 
 __all__ = ["StorageNode"]
@@ -70,63 +69,36 @@ class StorageNode:
         retry_policy: RetryPolicy | None = None,
         breaker_config: BreakerConfig | None = None,
     ) -> "StorageNode":
-        if devices < 1:
-            raise ValueError("need at least one CompStor")
-        sim = sim or Simulator(seed=seed)
-        if metrics is not None and metrics.clock is None:
-            metrics.bind_clock(lambda: sim.now)
-        meter = PowerMeter(sim, metrics=metrics)
-        endpoints = devices + (1 if with_baseline_ssd else 0)
-        fabric = PcieFabric(
-            sim,
-            endpoints=endpoints,
+        """Thin wrapper over :func:`repro.config.factory.build_node`.
+
+        The kwargs are the historical surface; each maps onto one
+        :class:`~repro.config.ScenarioConfig` field and the factory owns
+        the construction sequence, so a node built here is identical —
+        schedule-for-schedule — to one built from the equivalent scenario.
+        """
+        from repro.config.factory import build_node, scenario_for_node
+
+        config = scenario_for_node(
+            devices=devices,
+            seed=seed,
+            geometry=geometry,
+            device_capacity=device_capacity,
+            store_data=store_data,
+            with_baseline_ssd=with_baseline_ssd,
+            ftl_config=ftl_config,
             uplink_lanes=uplink_lanes,
             endpoint_lanes=endpoint_lanes,
-            energy_sink=meter.sink,
-        )
-        geometry = geometry or small_geometry(device_capacity)
-
-        compstors = [
-            CompStorSSD(
-                sim,
-                name=f"compstor{i}",
-                geometry=geometry,
-                port=fabric.ports[i],
-                meter=meter,
-                registry=registry.clone() if registry is not None else None,
-                store_data=store_data,
-                ftl_config=ftl_config,
-                tracer=tracer,
-                metrics=metrics,
-            )
-            for i in range(devices)
-        ]
-        baseline = None
-        if with_baseline_ssd:
-            baseline = ConventionalSSD(
-                sim,
-                name="baseline-ssd",
-                geometry=geometry,
-                port=fabric.ports[devices],
-                meter=meter,
-                store_data=store_data,
-                ftl_config=ftl_config,
-                tracer=tracer,
-                metrics=metrics,
-            )
-        host = HostServer(sim, meter=meter, tracer=tracer)
-        if baseline is not None:
-            host.mount(baseline.controller)
-        client = InSituClient(
-            sim,
-            tracer=tracer,
-            metrics=metrics,
             retry_policy=retry_policy,
             breaker_config=breaker_config,
         )
-        for ssd in compstors:
-            client.attach(ssd.controller)
-        return cls(sim, host, fabric, compstors, client, meter, baseline_ssd=baseline)
+        return build_node(
+            config,
+            sim=sim,
+            geometry=geometry,
+            registry=registry,
+            tracer=tracer,
+            metrics=metrics,
+        )
 
     # -- dataset staging ----------------------------------------------------------
     def stage_corpus(

@@ -1,0 +1,110 @@
+"""The preset registry: named, pinned scenarios.
+
+Each preset is one :class:`~repro.config.schema.ScenarioConfig` whose
+digest is a checked-in golden (``tests/golden_config_digests.txt``): CI
+recomputes every preset digest and diffs, so a preset can never drift
+silently.  Derive sweep cells with ``--set`` overrides; the overridden
+scenario's digest — printed in every scorecard header — identifies the
+cell exactly.
+"""
+
+from __future__ import annotations
+
+from repro.config.schema import (
+    FaultSpec,
+    FaultsConfig,
+    FlashConfig,
+    FleetConfig,
+    ScenarioConfig,
+)
+from repro.faults.retry import BreakerConfig, RetryPolicy
+from repro.workloads import CorpusSpec
+
+__all__ = ["PRESETS", "preset", "preset_names"]
+
+
+def _paper_prototype() -> ScenarioConfig:
+    """The default experimental stack: one node, four CompStors, the
+    default corpus — the shape most unit experiments assume."""
+    return ScenarioConfig(name="paper-prototype")
+
+
+def _smoke() -> ScenarioConfig:
+    """Seconds-of-wall-clock sanity run: one tiny device, two small books."""
+    return ScenarioConfig(
+        name="smoke",
+        flash=FlashConfig(capacity_bytes=16 * 1024 * 1024),
+        fleet=FleetConfig(nodes=1, devices_per_node=1),
+        corpus=CorpusSpec(files=2, mean_file_bytes=24 * 1024, size_spread=0.2),
+    )
+
+
+def _fig6() -> ScenarioConfig:
+    """The Fig. 6 weak-scaling cell: per-device corpus share from
+    ``repro.analysis.figures.DEFAULT_FIG6_SPEC``, 48 MiB devices."""
+    return ScenarioConfig(
+        name="fig6",
+        flash=FlashConfig(capacity_bytes=48 * 1024 * 1024),
+        fleet=FleetConfig(nodes=1, devices_per_node=4),
+        corpus=CorpusSpec(files=8, mean_file_bytes=96 * 1024, size_spread=0.2),
+    )
+
+
+def _fig8_ablation() -> ScenarioConfig:
+    """The Fig. 8 energy cell: one CompStor vs the host baseline drive,
+    corpus from ``DEFAULT_FIG8_SPEC`` (enough files to keep all cores busy)."""
+    return ScenarioConfig(
+        name="fig8-ablation",
+        flash=FlashConfig(capacity_bytes=48 * 1024 * 1024),
+        fleet=FleetConfig(nodes=1, devices_per_node=1, with_baseline_ssd=True),
+        corpus=CorpusSpec(files=8, mean_file_bytes=256 * 1024, size_spread=0.1),
+    )
+
+
+def _chaos_drill() -> ScenarioConfig:
+    """The pinned recovery drill: replicated 2x2 fleet with retries and
+    breakers armed, one recoverable device kill plus a transient window."""
+    return ScenarioConfig(
+        name="chaos-drill",
+        flash=FlashConfig(capacity_bytes=24 * 1024 * 1024),
+        fleet=FleetConfig(nodes=2, devices_per_node=2, replicas=2),
+        corpus=CorpusSpec(files=8, mean_file_bytes=32 * 1024, seed=0),
+        retry=RetryPolicy(),
+        breaker=BreakerConfig(),
+        faults=FaultsConfig(
+            seed=0,
+            events=(
+                FaultSpec(kind="device-crash", ring_index=1, at_ms=0.2, duration_ms=2.0),
+                FaultSpec(kind="transient", ring_index=2, at_ms=0.0, duration_ms=1.0, fraction=0.5),
+            ),
+        ),
+    )
+
+
+PRESETS = {
+    "paper-prototype": _paper_prototype,
+    "smoke": _smoke,
+    "fig6": _fig6,
+    "fig8-ablation": _fig8_ablation,
+    "chaos-drill": _chaos_drill,
+}
+
+
+def preset_names() -> tuple[str, ...]:
+    return tuple(PRESETS)
+
+
+def preset(name: str, overrides: tuple[str, ...] = ()) -> ScenarioConfig:
+    """A fresh instance of the named preset, with ``--set`` overrides applied."""
+    try:
+        build = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; use {', '.join(PRESETS)}"
+        ) from None
+    config = build()
+    if overrides:
+        from repro.config.overrides import apply_overrides
+
+        config = apply_overrides(config, overrides)
+    return config

@@ -1,0 +1,265 @@
+"""The typed scenario-configuration tree.
+
+Every experiment in the paper is "the same stack, one knob turned": device
+count for Fig. 6, the app mix for Fig. 5/7, concurrent-IO load for Fig. 8.
+:class:`ScenarioConfig` is the one declarative, hashable description of
+such a scenario — flash geometry, FTL/ECC tuning, the ISPS CPU model, NVMe
+queues, PCIe topology, fleet shape, corpus spec, recovery policy, fault
+plan, and observability toggles — shared by the CLI, the parallel runner,
+the result cache, and the fault planner.
+
+Design rules:
+
+- every node is a **frozen, slotted dataclass**, so a whole scenario is
+  hashable and usable as a dict key;
+- reusable component configs (:class:`~repro.ftl.FtlConfig`,
+  :class:`~repro.ecc.EccConfig`, :class:`~repro.workloads.CorpusSpec`,
+  :class:`~repro.faults.retry.RetryPolicy`,
+  :class:`~repro.faults.retry.BreakerConfig`) are embedded directly rather
+  than duplicated, so their validation runs exactly once, in one place;
+- all leaves are JSON-representable scalars (or tuples of them), so a
+  scenario round-trips losslessly through the canonical-JSON codec
+  (:mod:`repro.config.codec`) and its sha256 digest identifies the run.
+
+Construction of live systems from a scenario lives in
+:mod:`repro.config.factory`; this module is pure description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+from repro.ecc import EccConfig
+from repro.faults.retry import BreakerConfig, RetryPolicy
+from repro.flash import FlashGeometry
+from repro.ftl import FtlConfig
+from repro.workloads import CorpusSpec
+
+__all__ = [
+    "FaultSpec",
+    "FaultsConfig",
+    "FlashConfig",
+    "FleetConfig",
+    "IspsConfig",
+    "NvmeConfig",
+    "ObsConfig",
+    "PcieConfig",
+    "ScenarioConfig",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FlashConfig:
+    """Flash geometry by capacity plus parallelism dimensions.
+
+    ``geometry()`` reproduces :func:`repro.ssd.conventional.small_geometry`
+    exactly: the base dimensions are scaled to ``capacity_bytes`` via
+    ``blocks_per_plane`` (so a config built from an existing
+    :class:`~repro.flash.FlashGeometry` round-trips bit-for-bit).
+    ``store_data`` selects functional mode (real page payloads) vs analytic
+    mode (timing only).
+    """
+
+    capacity_bytes: int = 64 * 1024 * 1024
+    channels: int = 8
+    dies_per_channel: int = 2
+    planes_per_die: int = 2
+    blocks_per_plane: int = 8  # pre-scale base; ``geometry()`` rescales
+    pages_per_block: int = 16
+    page_size: int = 16384
+    store_data: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 1024:
+            raise ValueError("capacity_bytes must be at least 1 KiB")
+
+    def geometry(self) -> FlashGeometry:
+        base = FlashGeometry(
+            channels=self.channels,
+            dies_per_channel=self.dies_per_channel,
+            planes_per_die=self.planes_per_die,
+            blocks_per_plane=self.blocks_per_plane,
+            pages_per_block=self.pages_per_block,
+            page_size=self.page_size,
+        )
+        return base.scaled(self.capacity_bytes)
+
+    @classmethod
+    def from_geometry(
+        cls, geometry: FlashGeometry, store_data: bool = True
+    ) -> "FlashConfig":
+        """Describe an existing geometry (lossless: ``geometry()`` returns
+        an equal instance, because scaling to the exact capacity recovers
+        the same ``blocks_per_plane``)."""
+        return cls(
+            capacity_bytes=geometry.capacity_bytes,
+            channels=geometry.channels,
+            dies_per_channel=geometry.dies_per_channel,
+            planes_per_die=geometry.planes_per_die,
+            blocks_per_plane=geometry.blocks_per_plane,
+            pages_per_block=geometry.pages_per_block,
+            page_size=geometry.page_size,
+            store_data=store_data,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class NvmeConfig:
+    """NVMe front-end shape; defaults mirror
+    :class:`~repro.nvme.NvmeController`."""
+
+    queue_pairs: int = 1
+    queue_depth: int = 64
+    workers_per_queue: int = 8
+    firmware_latency: float = 5e-6
+    firmware_cycles: float = 15_000.0
+
+    def __post_init__(self) -> None:
+        if self.queue_pairs < 1 or self.queue_depth < 1 or self.workers_per_queue < 1:
+            raise ValueError("queue_pairs/queue_depth/workers_per_queue must be >= 1")
+        if self.firmware_latency < 0 or self.firmware_cycles < 0:
+            raise ValueError("firmware terms must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class PcieConfig:
+    """Fabric topology: the paper's x16 Gen3 uplink over x4 endpoints."""
+
+    uplink_lanes: int = 16
+    endpoint_lanes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.uplink_lanes < 1 or self.endpoint_lanes < 1:
+            raise ValueError("lane counts must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class IspsConfig:
+    """In-situ processing subsystem: which CPU model runs minions.
+
+    ``cpu`` names an entry in :data:`repro.cpu.models.CPU_MODELS`
+    (``"arm-a53-quad"`` is the paper's Table II quad Cortex-A53).
+    """
+
+    cpu: str = "arm-a53-quad"
+
+    def __post_init__(self) -> None:
+        from repro.cpu.models import CPU_MODELS
+
+        if self.cpu not in CPU_MODELS:
+            raise ValueError(
+                f"unknown cpu model {self.cpu!r}; use {sorted(CPU_MODELS)}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class FleetConfig:
+    """Two-level topology: nodes x devices, plus staging redundancy."""
+
+    nodes: int = 1
+    devices_per_node: int = 4
+    with_baseline_ssd: bool = False
+    replicas: int = 1  # copies of each book staged on the device ring
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.devices_per_node < 1:
+            raise ValueError("nodes and devices_per_node must be >= 1")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One declarative fault, addressed by fleet-ring index.
+
+    Times are milliseconds relative to the moment the plan is armed
+    (conventionally: staging completion), matching the chaos CLI's
+    ``IDX@MS`` grammar.  ``kind`` is a :class:`repro.faults.FaultKind`
+    value string.
+    """
+
+    kind: str = "device-crash"
+    ring_index: int = 0
+    at_ms: float = 0.0
+    duration_ms: float | None = None
+    fraction: float = 0.0  # transient: share of commands failed
+    factor: float = 1.0  # limp: firmware-latency multiplier
+
+    def __post_init__(self) -> None:
+        from repro.faults.plan import FaultKind
+
+        if self.kind not in {k.value for k in FaultKind}:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"use {sorted(k.value for k in FaultKind)}"
+            )
+        if self.ring_index < 0:
+            raise ValueError("ring_index must be >= 0")
+        if self.at_ms < 0:
+            raise ValueError("at_ms must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultsConfig:
+    """A replayable fault plan: explicit events plus seeded random ones."""
+
+    seed: int = 0
+    random: int = 0  # extra faults derived deterministically from ``seed``
+    horizon_ms: float = 10.0  # random faults land in [0, horizon_ms)
+    events: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.random < 0:
+            raise ValueError("random must be >= 0")
+        if self.horizon_ms <= 0:
+            raise ValueError("horizon_ms must be positive")
+
+    @property
+    def any(self) -> bool:
+        return bool(self.events) or self.random > 0
+
+
+@dataclass(frozen=True, slots=True)
+class ObsConfig:
+    """Observability toggles (both default off: zero-overhead scenarios)."""
+
+    metrics: bool = False
+    tracing: bool = False
+    trace_capacity: int | None = None  # ring-buffer mode when set
+
+    def __post_init__(self) -> None:
+        if self.trace_capacity is not None and self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1 (or None)")
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioConfig:
+    """One complete, declarative experiment scenario.
+
+    The tree is frozen and hashable; derive variants with
+    :func:`dataclasses.replace` or dotted-path overrides
+    (:func:`repro.config.apply_overrides`).  Canonical JSON and the sha256
+    digest come from :mod:`repro.config.codec`; live systems come from
+    :mod:`repro.config.factory`.
+    """
+
+    name: str = "custom"
+    seed: int = 0
+    flash: FlashConfig = field(default_factory=FlashConfig)
+    ftl: FtlConfig = field(default_factory=FtlConfig)
+    ecc: EccConfig = field(default_factory=EccConfig)
+    nvme: NvmeConfig = field(default_factory=NvmeConfig)
+    pcie: PcieConfig = field(default_factory=PcieConfig)
+    isps: IspsConfig = field(default_factory=IspsConfig)
+    fleet: FleetConfig = field(default_factory=FleetConfig)
+    corpus: CorpusSpec = field(default_factory=CorpusSpec)
+    retry: RetryPolicy | None = None
+    breaker: BreakerConfig | None = None
+    faults: FaultsConfig = field(default_factory=FaultsConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
+
+    def with_name(self, name: str) -> "ScenarioConfig":
+        return replace(self, name=name)
+
+    def section_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in fields(self))

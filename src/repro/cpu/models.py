@@ -15,7 +15,7 @@ Sources:
 
 from repro.cpu.core import CpuSpec
 
-__all__ = ["ARM_A53_QUAD", "XEON_E5_2620_V4"]
+__all__ = ["ARM_A53_QUAD", "CPU_MODELS", "XEON_E5_2620_V4", "cpu_model", "resolve_cpu"]
 
 ARM_A53_QUAD = CpuSpec(
     name="ARM Cortex-A53 quad @ 1.5 GHz",
@@ -40,3 +40,24 @@ XEON_E5_2620_V4 = CpuSpec(
     l2_kib=20480,
     dram_gib=32,
 )
+
+#: Model-name registry: how scenario configs (``isps.cpu``) name a spec.
+CPU_MODELS: dict[str, CpuSpec] = {
+    "arm-a53-quad": ARM_A53_QUAD,
+    "xeon-e5-2620-v4": XEON_E5_2620_V4,
+}
+
+
+def cpu_model(name: str) -> CpuSpec:
+    """The registered :class:`CpuSpec` for ``name`` (loud on unknown names)."""
+    try:
+        return CPU_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cpu model {name!r}; use {sorted(CPU_MODELS)}"
+        ) from None
+
+
+def resolve_cpu(spec: "CpuSpec | str") -> CpuSpec:
+    """Accept either a spec object or a registry name."""
+    return spec if isinstance(spec, CpuSpec) else cpu_model(spec)

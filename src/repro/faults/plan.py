@@ -16,9 +16,12 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids a config cycle)
+    from repro.config.schema import FaultsConfig
 
 __all__ = ["FaultEvent", "FaultKind", "FaultPlan"]
 
@@ -149,6 +152,53 @@ class FaultPlan:
                  f"node{event.node}/{event.device}", detail]
             )
         return rows
+
+    # -- declarative plans ---------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        config: "FaultsConfig",
+        ring: Sequence[tuple[int, str]],
+        base_time: float = 0.0,
+    ) -> "FaultPlan":
+        """A plan from a scenario's ``faults`` section, aimed at a device ring.
+
+        Explicit events come first (``ring_index`` resolved modulo the ring,
+        times in ms relative to ``base_time``), then ``config.random``
+        seeded-random faults over ``[0, horizon_ms)``.  Pure function of
+        ``(config, ring, base_time)`` — the fingerprint is reproducible.
+        """
+        if not ring:
+            raise ValueError("need at least one device to plan faults for")
+        plan = cls(seed=config.seed)
+        for spec in config.events:
+            node, device = ring[spec.ring_index % len(ring)]
+            at = base_time + spec.at_ms * 1e-3
+            duration = None if spec.duration_ms is None else spec.duration_ms * 1e-3
+            if spec.kind == FaultKind.DEVICE_CRASH.value:
+                plan.kill_device(node, device, at, recover_after=duration)
+            elif spec.kind == FaultKind.AGENT_CRASH.value:
+                plan.crash_agent(
+                    node, device, at,
+                    restart_after=duration if duration is not None else 2e-3,
+                )
+            elif spec.kind == FaultKind.TRANSIENT.value:
+                if duration is None:
+                    raise ValueError("transient faults need duration_ms")
+                plan.transient_window(
+                    node, device, at, duration, fraction=spec.fraction
+                )
+            else:  # LIMP — FaultSpec validates the kind at construction
+                plan.limp(node, device, at, factor=spec.factor, duration=duration)
+        if config.random:
+            random_plan = cls.random(
+                config.seed, list(ring),
+                horizon=base_time + config.horizon_ms * 1e-3,
+                faults=config.random,
+            )
+            for event in random_plan.events():
+                plan.add(event)
+        return plan
 
     # -- randomised plans ----------------------------------------------------
     @classmethod

@@ -13,7 +13,7 @@ from typing import Callable
 
 from repro.analysis.calibration import ARM_ISA
 from repro.cpu.core import CpuCluster, CpuSpec
-from repro.cpu.models import ARM_A53_QUAD
+from repro.cpu.models import ARM_A53_QUAD, resolve_cpu
 from repro.ftl import FlashTranslationLayer
 from repro.isos.blockdev import FlashAccessDevice
 from repro.isos.filesystem import ExtentFileSystem
@@ -32,7 +32,7 @@ class InSituProcessingSubsystem:
         sim: Simulator,
         ftl: FlashTranslationLayer,
         registry: ExecutableRegistry,
-        spec: CpuSpec = ARM_A53_QUAD,
+        spec: CpuSpec | str = ARM_A53_QUAD,
         name: str = "isps",
         energy_sink: Callable[[str, float], None] | None = None,
         tracer: Tracer | None = None,
@@ -41,9 +41,11 @@ class InSituProcessingSubsystem:
     ):
         self.sim = sim
         self.name = name
-        self.spec = cluster.spec if cluster is not None else spec
+        # ``spec`` accepts a registry name ("arm-a53-quad") so scenario
+        # configs can address CPU models declaratively
+        self.spec = cluster.spec if cluster is not None else resolve_cpu(spec)
         self.cluster = cluster if cluster is not None else CpuCluster(
-            sim, spec, name=f"{name}.cpu", energy_sink=energy_sink
+            sim, self.spec, name=f"{name}.cpu", energy_sink=energy_sink
         )
         self.device = FlashAccessDevice(sim, ftl)
         self.fs = fs if fs is not None else ExtentFileSystem(sim, self.device)

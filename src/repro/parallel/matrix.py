@@ -33,13 +33,23 @@ __all__ = [
 CLAIM_NAMES = ("fig1", "table1", "fig6", "fig7", "fig8")
 
 
-def validation_jobs(quick: bool = False) -> list[JobSpec]:
+def _scenario_kwargs(scenario: dict | None) -> dict[str, Any]:
+    """Scenario payload for a cell's kwargs.
+
+    Omitted entirely when None so legacy job specs — and their cache
+    keys — are byte-identical to previous releases; when present the
+    scenario participates in the spec digest automatically.
+    """
+    return {} if scenario is None else {"scenario": scenario}
+
+
+def validation_jobs(quick: bool = False, scenario: dict | None = None) -> list[JobSpec]:
     """One job per scorecard claim (the unit ``validate`` shards on)."""
     return [
         JobSpec(
             name=f"validate.{name}",
             target="repro.analysis.validation:run_claim",
-            kwargs={"name": name, "quick": quick},
+            kwargs={"name": name, "quick": quick, **_scenario_kwargs(scenario)},
         )
         for name in CLAIM_NAMES
     ]
@@ -57,38 +67,52 @@ def fig1_jobs(ssd_counts: Sequence[int]) -> list[JobSpec]:
 
 
 def fig6_jobs(
-    app: str, device_counts: Sequence[int], **cell_kwargs: Any
+    app: str,
+    device_counts: Sequence[int],
+    scenario: dict | None = None,
+    **cell_kwargs: Any,
 ) -> list[JobSpec]:
     return [
         JobSpec(
             name=f"fig6.{app}.n{count}",
             target="repro.analysis.figures:fig6_cell",
-            kwargs={"app": app, "devices": count, **cell_kwargs},
+            kwargs={
+                "app": app, "devices": count,
+                **_scenario_kwargs(scenario), **cell_kwargs,
+            },
         )
         for count in device_counts
     ]
 
 
-def fig7_jobs(device_counts: Sequence[int]) -> list[JobSpec]:
+def fig7_jobs(
+    device_counts: Sequence[int], scenario: dict | None = None
+) -> list[JobSpec]:
     """The host-only bzip2 measurement plus one device cell per count."""
     return [
-        JobSpec(name="fig7.host", target="repro.analysis.figures:fig7_host_cell")
+        JobSpec(
+            name="fig7.host",
+            target="repro.analysis.figures:fig7_host_cell",
+            kwargs=_scenario_kwargs(scenario),
+        )
     ] + [
         JobSpec(
             name=f"fig7.bzip2.n{count}",
             target="repro.analysis.figures:fig6_cell",
-            kwargs={"app": "bzip2", "devices": count},
+            kwargs={
+                "app": "bzip2", "devices": count, **_scenario_kwargs(scenario)
+            },
         )
         for count in device_counts
     ]
 
 
-def fig8_jobs(apps: Sequence[str]) -> list[JobSpec]:
+def fig8_jobs(apps: Sequence[str], scenario: dict | None = None) -> list[JobSpec]:
     return [
         JobSpec(
             name=f"fig8.{app}",
             target="repro.analysis.figures:fig8_cell",
-            kwargs={"app": app},
+            kwargs={"app": app, **_scenario_kwargs(scenario)},
         )
         for app in apps
     ]

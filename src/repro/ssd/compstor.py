@@ -16,8 +16,11 @@ channel buses).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.analysis.calibration import DEVICE_DRAM_W
 from repro.apps import default_registry
+from repro.cpu.core import CpuSpec
 from repro.cpu.models import ARM_A53_QUAD
 from repro.ecc import EccConfig
 from repro.flash import FlashGeometry
@@ -29,6 +32,9 @@ from repro.pcie.switch import PciePort
 from repro.power import PowerMeter
 from repro.sim import Simulator, Tracer
 from repro.ssd.conventional import ConventionalSSD, small_geometry
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids a config cycle)
+    from repro.config.schema import NvmeConfig
 
 __all__ = ["CompStorSSD", "PROTOTYPE_CAPACITY_BYTES", "prototype_geometry"]
 
@@ -55,6 +61,8 @@ class CompStorSSD(ConventionalSSD):
         store_data: bool = True,
         ftl_config: FtlConfig | None = None,
         ecc_config: EccConfig | None = None,
+        nvme_config: "NvmeConfig | None" = None,
+        cpu_spec: CpuSpec | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
     ):
@@ -67,15 +75,17 @@ class CompStorSSD(ConventionalSSD):
             store_data=store_data,
             ftl_config=ftl_config,
             ecc_config=ecc_config,
+            nvme_config=nvme_config,
             tracer=tracer,
             metrics=metrics,
         )
         sink = meter.sink if meter is not None else None
+        spec = cpu_spec if cpu_spec is not None else ARM_A53_QUAD
         self.isps = InSituProcessingSubsystem(
             sim,
             self.ftl,
             registry=(registry or default_registry()),
-            spec=ARM_A53_QUAD,
+            spec=spec,
             name=f"{name}.isps",
             energy_sink=sink,
             tracer=tracer,
@@ -85,7 +95,7 @@ class CompStorSSD(ConventionalSSD):
         )
         self.controller.register_isc_handler(self.agent.handle)
         if meter is not None:
-            meter.register_static(f"{name}.isps.static", ARM_A53_QUAD.p_idle)
+            meter.register_static(f"{name}.isps.static", spec.p_idle)
             meter.register_static(f"{name}.isps.dram", DEVICE_DRAM_W)
 
     @property

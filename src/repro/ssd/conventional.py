@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.analysis.calibration import DEVICE_CONTROLLER_W
 from repro.ecc import EccConfig, EccEngine
 from repro.flash import FlashArray, FlashGeometry
@@ -11,6 +13,9 @@ from repro.obs.metrics import MetricsRegistry
 from repro.pcie.switch import PciePort
 from repro.power import PowerMeter
 from repro.sim import Simulator, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids a config cycle)
+    from repro.config.schema import NvmeConfig
 
 __all__ = ["ConventionalSSD", "small_geometry"]
 
@@ -41,6 +46,7 @@ class ConventionalSSD:
         store_data: bool = True,
         ftl_config: FtlConfig | None = None,
         ecc_config: EccConfig | None = None,
+        nvme_config: "NvmeConfig | None" = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
     ):
@@ -61,8 +67,18 @@ class ConventionalSSD:
             sim, self.flash, self.ecc, config=ftl_config, name=f"{name}.ftl",
             tracer=tracer, metrics=metrics,
         )
+        # NvmeConfig's defaults mirror the controller's, so None and a
+        # default-constructed config build identical front ends
+        front = {} if nvme_config is None else {
+            "queue_pairs": nvme_config.queue_pairs,
+            "queue_depth": nvme_config.queue_depth,
+            "workers_per_queue": nvme_config.workers_per_queue,
+            "firmware_latency": nvme_config.firmware_latency,
+            "firmware_cycles": nvme_config.firmware_cycles,
+        }
         self.controller = NvmeController(
-            sim, self.ftl, port=port, name=f"{name}.nvme", tracer=tracer, metrics=metrics
+            sim, self.ftl, port=port, name=f"{name}.nvme", tracer=tracer,
+            metrics=metrics, **front,
         )
         if meter is not None:
             meter.register_static(f"{name}.controller.static", DEVICE_CONTROLLER_W)
