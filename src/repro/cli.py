@@ -339,6 +339,43 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_traffic(args: argparse.Namespace) -> None:
+    """Serve seeded multi-tenant traffic against the fleet; print the SLO
+    scorecard (p50/p99/p999, fairness, shed counts) per arrival mix.
+
+    Each mix is one hermetic matrix cell, so cells shard across
+    ``--workers`` and cache like figure cells; the trailing scorecard
+    digest is the byte-stable identity CI pins.
+    """
+    from repro.parallel import payload_digest, traffic_jobs
+
+    _, payload = _scenario_payload(args)
+    report = _run_matrix(traffic_jobs(payload, mixes=tuple(args.mixes)), args)
+    values = report.values()
+    rows = []
+    lost = 0
+    for value in values:
+        shed = sum(value["shed"].values())
+        rows.append([
+            value["pattern"], value["requests"], value["admitted"], shed,
+            value["completed"], value["lost"],
+            f"{value['p50_ms']:.3f}", f"{value['p99_ms']:.3f}",
+            f"{value['p999_ms']:.3f}", f"{value['jain']:.4f}",
+            value["violations"],
+        ])
+        lost += value["lost"]
+    print(format_series_table(
+        "traffic scorecard (end-to-end latency in ms)",
+        ["mix", "offered", "admitted", "shed", "completed", "lost",
+         "p50", "p99", "p999", "Jain", "SLO viol"],
+        rows,
+    ))
+    print(f"scorecard digest={payload_digest(values)}")
+    if lost:
+        print(f"{lost} requests lost in dispatch", file=sys.stderr)
+        raise SystemExit(1)
+
+
 def _cmd_metrics(args: argparse.Namespace) -> None:
     """Run a workload with full observability on; dump every export surface.
 
@@ -565,6 +602,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="add N random faults derived deterministically from --seed")
     add_scenario_args(p)
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "traffic", help="multi-tenant serving drill (admission/WFQ/SLO scorecard)"
+    )
+    p.add_argument(
+        "--mixes", nargs="+", default=["poisson", "diurnal", "bursty"],
+        choices=["poisson", "diurnal", "bursty"],
+        help="arrival mixes to serve, one matrix cell each",
+    )
+    _add_parallel_args(p)
+    add_scenario_args(p, default_preset="traffic-smoke")
+    p.set_defaults(func=_cmd_traffic)
 
     p = sub.add_parser("metrics", help="observability dump: metrics + span tree")
     p.add_argument("--workload", default="grep",

@@ -330,6 +330,47 @@ class StorageFleet:
         assert report.accounted == report.dispatched, "minion accounting must close"
         return report
 
+    def serve_one(self, book: BookFile, command: Command) -> Generator:
+        """Serve one request against ``book``'s primary placement.
+
+        The single-request twin of :meth:`run_job`, built for the service
+        frontend: primary delivery first, then the book's surviving
+        replicas, then a host that holds the data.  Returns
+        ``(response, path)`` with ``path`` one of ``"primary"``,
+        ``"failover"``, ``"host"`` — or ``(None, "lost")`` when no copy
+        survives.  Recovery counters and metrics update exactly as for a
+        job-level reroute, so ``health()`` sees served traffic too.
+        """
+        chain = self._replica_map.get(book.name)
+        if not chain:
+            raise ValueError(f"book {book.name!r} was never staged on this fleet")
+        node_index, device = chain[0]
+        client = self.nodes[node_index].client
+        try:
+            minion = yield from client.send_minion(device, command)
+        except InSituError:
+            pass
+        else:
+            return minion.response, "primary"
+        response = yield from self._failover_one(
+            node_index, device, book, lambda _b: command
+        )
+        if response is None:
+            self.lost_total += 1
+            if self.metrics.enabled:
+                self._m_lost.inc(book=book.name)
+            return None, "lost"
+        self.recovered_total += 1
+        if response.device == "host":
+            self.host_fallbacks_total += 1
+            if self.metrics.enabled:
+                self._m_host_fallbacks.inc()
+            return response, "host"
+        self.failovers_total += 1
+        if self.metrics.enabled:
+            self._m_failovers.inc(device=response.device)
+        return response, "failover"
+
     def _failover_one(
         self,
         failed_node: int,

@@ -67,7 +67,11 @@ class LeastLoadedBalancer:
         }
         if not usable:
             raise ValueError("no reachable devices (all crashed or fenced off)")
-        return min(usable, key=lambda name: (usable[name].load_score(), name))
+        # Ties on load score break by stable attachment order, not name:
+        # lexicographic order would put "compstor10" before "compstor2",
+        # making fairness results depend on how devices happen to be named.
+        order = {name: i for i, name in enumerate(client.devices())}
+        return min(usable, key=lambda name: (usable[name].load_score(), order[name]))
 
 
 class MinionDispatcher:

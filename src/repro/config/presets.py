@@ -16,6 +16,8 @@ from repro.config.schema import (
     FlashConfig,
     FleetConfig,
     ScenarioConfig,
+    ServiceConfig,
+    TrafficConfig,
 )
 from repro.faults.retry import BreakerConfig, RetryPolicy
 from repro.workloads import CorpusSpec
@@ -81,12 +83,61 @@ def _chaos_drill() -> ScenarioConfig:
     )
 
 
+def _traffic_smoke() -> ScenarioConfig:
+    """The pinned multi-tenant serving drill: the chaos-drill fleet (2x2,
+    replicated, retries + breakers) under a short seeded Poisson stream
+    drawn from a million-tenant population, with a transient-error window
+    and a recoverable device kill landing mid-traffic."""
+    return ScenarioConfig(
+        name="traffic-smoke",
+        flash=FlashConfig(capacity_bytes=24 * 1024 * 1024),
+        fleet=FleetConfig(nodes=2, devices_per_node=2, replicas=2),
+        corpus=CorpusSpec(files=8, mean_file_bytes=32 * 1024, seed=0),
+        retry=RetryPolicy(),
+        breaker=BreakerConfig(),
+        faults=FaultsConfig(
+            seed=0,
+            events=(
+                FaultSpec(kind="transient", ring_index=1, at_ms=5.0,
+                          duration_ms=10.0, fraction=0.5),
+                FaultSpec(kind="device-crash", ring_index=2, at_ms=10.0,
+                          duration_ms=15.0),
+            ),
+        ),
+        service=ServiceConfig(queue_depth=32, concurrency=8),
+        traffic=TrafficConfig(pattern="poisson", requests=160, rate=4000.0,
+                              tenants=1_000_000, skew=1.5, seed=0),
+    )
+
+
+def _traffic_burst() -> ScenarioConfig:
+    """The overload cell: bursty hot-tenant arrivals at 2x sustainable rate
+    into two dispatch slots — sized so every mechanism fires visibly
+    (queue-full *and* rate-limit sheds, SLO violations, Jain well below
+    1.0), the regime where admission control and fair queuing earn their
+    keep."""
+    return ScenarioConfig(
+        name="traffic-burst",
+        flash=FlashConfig(capacity_bytes=24 * 1024 * 1024),
+        fleet=FleetConfig(nodes=2, devices_per_node=2, replicas=2),
+        corpus=CorpusSpec(files=8, mean_file_bytes=32 * 1024, seed=0),
+        retry=RetryPolicy(),
+        breaker=BreakerConfig(),
+        service=ServiceConfig(queue_depth=32, concurrency=2),
+        traffic=TrafficConfig(pattern="bursty", requests=256, rate=8000.0,
+                              tenants=2000, skew=8.0, seed=0,
+                              burst_len=64, burst_factor=8.0),
+    )
+
+
 PRESETS = {
     "paper-prototype": _paper_prototype,
     "smoke": _smoke,
     "fig6": _fig6,
     "fig8-ablation": _fig8_ablation,
     "chaos-drill": _chaos_drill,
+    "traffic-smoke": _traffic_smoke,
+    "traffic-burst": _traffic_burst,
 }
 
 

@@ -36,6 +36,7 @@ from repro.ftl import FtlConfig
 from repro.workloads import CorpusSpec
 
 __all__ = [
+    "DEFAULT_PRIORITY_CLASSES",
     "FaultSpec",
     "FaultsConfig",
     "FlashConfig",
@@ -44,7 +45,10 @@ __all__ = [
     "NvmeConfig",
     "ObsConfig",
     "PcieConfig",
+    "PriorityClassConfig",
     "ScenarioConfig",
+    "ServiceConfig",
+    "TrafficConfig",
 ]
 
 
@@ -220,6 +224,130 @@ class FaultsConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class PriorityClassConfig:
+    """One tenant priority class of the service frontend.
+
+    ``share`` is the fraction of the tenant population hashed into this
+    class; ``weight`` is its weighted-fair-queuing share of dispatch
+    capacity.  ``rate``/``burst`` parameterise the *per-tenant* token
+    bucket (requests per second of simulated time, bucket capacity), and
+    ``slo_ms`` is the end-to-end latency objective a completion is graded
+    against.
+    """
+
+    name: str = "standard"
+    weight: float = 1.0
+    share: float = 1.0
+    rate: float = 200.0
+    burst: float = 8.0
+    slo_ms: float = 20.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("priority class needs a name")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if not 0.0 < self.share <= 1.0:
+            raise ValueError("share must be in (0, 1]")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.slo_ms <= 0:
+            raise ValueError("slo_ms must be positive")
+
+
+#: The default three-tier tenant population: a small premium class with a
+#: large scheduler weight and tight SLO over a broad best-effort base.
+DEFAULT_PRIORITY_CLASSES: tuple[PriorityClassConfig, ...] = (
+    PriorityClassConfig(name="gold", weight=4.0, share=0.1, rate=400.0,
+                        burst=16.0, slo_ms=10.0),
+    PriorityClassConfig(name="silver", weight=2.0, share=0.3, rate=200.0,
+                        burst=8.0, slo_ms=20.0),
+    PriorityClassConfig(name="bronze", weight=1.0, share=0.6, rate=100.0,
+                        burst=4.0, slo_ms=50.0),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """The multi-tenant service frontend: admission, scheduling, dispatch.
+
+    ``queue_depth`` bounds the admission queue (arrivals beyond it are
+    shed); ``concurrency`` is the number of dispatch slots pulling from
+    the weighted fair queue into the fleet.
+    """
+
+    queue_depth: int = 64
+    concurrency: int = 8
+    classes: tuple[PriorityClassConfig, ...] = DEFAULT_PRIORITY_CLASSES
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if not self.classes:
+            raise ValueError("need at least one priority class")
+        names = [c.name for c in self.classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate priority class names: {names}")
+        total = sum(c.share for c in self.classes)
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"class shares sum to {total}; must be <= 1")
+
+
+#: Arrival patterns the traffic generator understands.
+TRAFFIC_PATTERNS: tuple[str, ...] = ("poisson", "diurnal", "bursty")
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficConfig:
+    """A seeded open-loop arrival stream over a large tenant population.
+
+    ``tenants`` is the population size (IDs are drawn per arrival, so
+    millions of distinct tenants cost no per-tenant state up front);
+    ``skew`` shapes popularity (1.0 = uniform, larger concentrates traffic
+    on low tenant IDs).  ``rate`` is the mean arrival rate in requests per
+    second of *simulated* time; diurnal/bursty parameters modulate it.
+    """
+
+    pattern: str = "poisson"
+    requests: int = 200
+    rate: float = 4000.0
+    tenants: int = 1_000_000
+    skew: float = 1.0
+    seed: int = 0
+    period_ms: float = 50.0  # diurnal: cycle length
+    amplitude: float = 0.8  # diurnal: rate swing in [0, 1)
+    burst_len: int = 32  # bursty: arrivals per burst
+    burst_factor: float = 8.0  # bursty: in-burst rate multiplier
+
+    def __post_init__(self) -> None:
+        if self.pattern not in TRAFFIC_PATTERNS:
+            raise ValueError(
+                f"unknown traffic pattern {self.pattern!r}; "
+                f"use {', '.join(TRAFFIC_PATTERNS)}"
+            )
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.tenants < 1:
+            raise ValueError("tenants must be >= 1")
+        if self.skew < 1.0:
+            raise ValueError("skew must be >= 1 (1 = uniform)")
+        if self.period_ms <= 0:
+            raise ValueError("period_ms must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.burst_len < 1:
+            raise ValueError("burst_len must be >= 1")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
 class ObsConfig:
     """Observability toggles (both default off: zero-overhead scenarios)."""
 
@@ -257,6 +385,16 @@ class ScenarioConfig:
     breaker: BreakerConfig | None = None
     faults: FaultsConfig = field(default_factory=FaultsConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
+    # Sections added after the digest goldens were pinned carry
+    # ``omit_if_none``: the codec leaves them out of the canonical JSON
+    # while unset, so every pre-existing scenario keeps its digest and the
+    # section only becomes part of a scenario's identity once engaged.
+    service: ServiceConfig | None = field(
+        default=None, metadata={"omit_if_none": True}
+    )
+    traffic: TrafficConfig | None = field(
+        default=None, metadata={"omit_if_none": True}
+    )
 
     def with_name(self, name: str) -> "ScenarioConfig":
         return replace(self, name=name)

@@ -69,6 +69,14 @@ class FleetHealth:
     unreachable_devices: tuple[str, ...] = ()
     breakers_open: tuple[str, ...] = ()
     alerts: tuple[str, ...] = ()
+    #: Service-frontend rollup (PR 6): only meaningful when a traffic run
+    #: fed the aggregator (``service_engaged``).
+    service_engaged: bool = False
+    service_requests: int = 0
+    service_shed: int = 0
+    service_violations: int = 0
+    service_p999_ms: float = 0.0
+    service_jain: float = 1.0
 
     @property
     def degraded(self) -> bool:
@@ -102,7 +110,16 @@ class FleetHealth:
             ["max write amplification", f"{self.max_write_amplification:.2f}"],
             ["GC collections", self.gc_collections],
             ["alerts", "; ".join(self.alerts) if self.alerts else "none"],
-        ]
+        ] + (
+            [
+                ["service requests / shed / violations",
+                 f"{self.service_requests} / {self.service_shed} / {self.service_violations}"],
+                ["service latency p999", f"{self.service_p999_ms:.2f} ms"],
+                ["service fairness (Jain)", f"{self.service_jain:.4f}"],
+            ]
+            if self.service_engaged
+            else []
+        )
 
 
 @dataclass
@@ -138,6 +155,7 @@ class HealthAggregator:
             "retries": 0, "failovers": 0, "host_fallbacks": 0, "lost_minions": 0
         }
         self._breakers_open: tuple[str, ...] = ()
+        self._service: Any = None
 
     # -- feeding ------------------------------------------------------------
     def observe_device(
@@ -179,6 +197,38 @@ class HealthAggregator:
         self._recovery["host_fallbacks"] = host_fallbacks
         self._recovery["lost_minions"] = lost_minions
         self._breakers_open = tuple(breakers_open)
+
+    def observe_service(self, report: Any) -> None:
+        """Fold a service-frontend scorecard
+        (:class:`repro.service.slo.SloReport`) into the next summary —
+        shed traffic and SLO violations become operator alerts."""
+        self._service = report
+
+    def _service_fields(self) -> dict[str, Any]:
+        if self._service is None:
+            return {}
+        report = self._service
+        return {
+            "service_engaged": True,
+            "service_requests": report.requests,
+            "service_shed": report.shed_total,
+            "service_violations": report.violations,
+            "service_p999_ms": report.p999_ms,
+            "service_jain": report.jain,
+        }
+
+    def _service_alerts(self) -> list[str]:
+        if self._service is None:
+            return []
+        report = self._service
+        alerts = []
+        if report.shed_total:
+            alerts.append(f"service: {report.shed_total} requests shed at admission")
+        if report.violations:
+            alerts.append(f"service: {report.violations} SLO violations")
+        if report.lost:
+            alerts.append(f"service: {report.lost} requests lost in dispatch")
+        return alerts
 
     def observe_minion_latency(self, seconds: float) -> None:
         self._latencies.append(seconds)
@@ -231,7 +281,11 @@ class HealthAggregator:
                 lost_minions=self._recovery["lost_minions"],
                 unreachable_devices=unreachable,
                 breakers_open=self._breakers_open,
-                alerts=tuple(f"{tag}: unreachable" for tag in unreachable),
+                alerts=tuple(
+                    [f"{tag}: unreachable" for tag in unreachable]
+                    + self._service_alerts()
+                ),
+                **self._service_fields(),
             )
         snaps = list(self._devices.values())
         utilizations = [d.snapshot.core_utilization for d in snaps]
@@ -277,6 +331,7 @@ class HealthAggregator:
                 alerts.append(f"{tag}: wear {d.smart['percentage_used']}% of rated life")
             if d.smart and int(d.smart.get("bad_blocks", 0)) > 0:
                 alerts.append(f"{tag}: {d.smart['bad_blocks']} grown bad blocks")
+        alerts.extend(self._service_alerts())
 
         return FleetHealth(
             time=max(d.snapshot.time for d in snaps),
@@ -308,4 +363,5 @@ class HealthAggregator:
             unreachable_devices=unreachable,
             breakers_open=self._breakers_open,
             alerts=tuple(alerts),
+            **self._service_fields(),
         )

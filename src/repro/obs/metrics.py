@@ -51,6 +51,19 @@ def _label_key(labels: dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _exact_quantile(samples: list[float], q: float) -> float:
+    """Linear-interpolated quantile over raw samples (numpy's default
+    ``linear`` method): rank ``q * (n - 1)`` in the sorted sample."""
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    fraction = rank - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * fraction
+
+
 class Instrument:
     """Shared plumbing: a named family of per-label-set values."""
 
@@ -182,14 +195,17 @@ class BoundGauge:
 class _HistogramState:
     """Per-label-set histogram accumulator."""
 
-    __slots__ = ("bucket_counts", "count", "sum", "max", "min")
+    __slots__ = ("bucket_counts", "count", "sum", "max", "min", "samples")
 
-    def __init__(self, n_buckets: int):
+    def __init__(self, n_buckets: int, keep_samples: bool = False):
         self.bucket_counts = [0] * (n_buckets + 1)  # +1 = overflow (+Inf)
         self.count = 0
         self.sum = 0.0
         self.max = 0.0
         self.min = float("inf")  # finite after the first observation
+        # Exact-mode reservoir: raw observations while n <= exact_limit,
+        # permanently dropped (-> bucket interpolation) once exceeded.
+        self.samples: list[float] | None = [] if keep_samples else None
 
 
 class Histogram(Instrument):
@@ -197,6 +213,13 @@ class Histogram(Instrument):
 
     Buckets are upper bounds (Prometheus ``le`` convention); one implicit
     ``+Inf`` overflow bucket is always present.
+
+    ``exact_limit`` (default 0 = off) keeps a bounded reservoir of raw
+    observations per label set: while a series holds at most that many
+    samples, :meth:`percentile` is *exact* (sorted-sample interpolation,
+    which tail quantiles like p999 need at small n), and the reservoir is
+    permanently dropped — falling back to bucket interpolation — the
+    moment a series exceeds it, so memory stays bounded.
     """
 
     kind = "histogram"
@@ -207,12 +230,16 @@ class Histogram(Instrument):
         name: str,
         help: str = "",
         buckets: Iterable[float] | None = None,
+        exact_limit: int = 0,
     ):
         super().__init__(registry, name, help)
         bounds = tuple(sorted(buckets)) if buckets is not None else DEFAULT_BUCKETS
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
+        if exact_limit < 0:
+            raise ValueError("exact_limit must be >= 0")
         self.buckets = bounds
+        self.exact_limit = exact_limit
 
     def observe(self, value: float, **labels: Any) -> None:
         if not self.registry.enabled:
@@ -220,7 +247,9 @@ class Histogram(Instrument):
         key = _label_key(labels)
         state = self._values.get(key)
         if state is None:
-            state = self._values[key] = _HistogramState(len(self.buckets))
+            state = self._values[key] = _HistogramState(
+                len(self.buckets), keep_samples=self.exact_limit > 0
+            )
         index = bisect.bisect_left(self.buckets, value)
         state.bucket_counts[index] += 1
         state.count += 1
@@ -229,6 +258,10 @@ class Histogram(Instrument):
             state.max = value
         if value < state.min:
             state.min = value
+        if state.samples is not None:
+            state.samples.append(value)
+            if len(state.samples) > self.exact_limit:
+                state.samples = None  # degrade permanently; memory stays bounded
         self._stamp(key, value)
 
     def labels(self, **labels: Any) -> "BoundHistogram":
@@ -263,6 +296,8 @@ class Histogram(Instrument):
         state = self._state(**labels)
         if not state or not state.count:
             return 0.0
+        if state.samples is not None and state.samples:
+            return _exact_quantile(state.samples, q)
         rank = q * state.count
         cumulative = 0
         for index, bucket_count in enumerate(state.bucket_counts):
@@ -285,10 +320,15 @@ class Histogram(Instrument):
         return state.max
 
     def aggregate_percentile(self, q: float) -> float:
-        """Percentile over the union of every label set's observations."""
+        """Percentile over the union of every label set's observations.
+
+        Stays exact when every series still holds its reservoir (and the
+        union fits the limit); otherwise merges buckets and interpolates.
+        """
         if not self._values:
             return 0.0
         merged = _HistogramState(len(self.buckets))
+        pooled: list[float] | None = [] if self.exact_limit > 0 else None
         for state in self._values.values():
             merged.count += state.count
             merged.sum += state.sum
@@ -296,6 +336,13 @@ class Histogram(Instrument):
             merged.min = min(merged.min, state.min)
             for i, c in enumerate(state.bucket_counts):
                 merged.bucket_counts[i] += c
+            if pooled is not None:
+                if state.samples is None:
+                    pooled = None
+                else:
+                    pooled.extend(state.samples)
+        if pooled is not None and len(pooled) <= self.exact_limit:
+            merged.samples = pooled
         probe = Histogram(self.registry, self.name, self.help, self.buckets)
         probe._values[()] = merged
         return probe.percentile(q)
@@ -317,7 +364,9 @@ class BoundHistogram:
         key = self._key
         state = hist._values.get(key)
         if state is None:
-            state = hist._values[key] = _HistogramState(len(hist.buckets))
+            state = hist._values[key] = _HistogramState(
+                len(hist.buckets), keep_samples=hist.exact_limit > 0
+            )
         index = bisect.bisect_left(hist.buckets, value)
         state.bucket_counts[index] += 1
         state.count += 1
@@ -326,6 +375,10 @@ class BoundHistogram:
             state.max = value
         if value < state.min:
             state.min = value
+        if state.samples is not None:
+            state.samples.append(value)
+            if len(state.samples) > hist.exact_limit:
+                state.samples = None
         hist._stamp(key, value)
 
 
@@ -396,9 +449,15 @@ class MetricsRegistry:
         return self._instrument(Gauge, name, help)
 
     def histogram(
-        self, name: str, help: str = "", buckets: Iterable[float] | None = None
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] | None = None,
+        exact_limit: int = 0,
     ) -> Histogram:
-        return self._instrument(Histogram, name, help, buckets=buckets)
+        return self._instrument(
+            Histogram, name, help, buckets=buckets, exact_limit=exact_limit
+        )
 
     # -- introspection -------------------------------------------------------
     def collect(self) -> Iterator[Instrument]:

@@ -35,6 +35,7 @@ from repro.parallel.matrix import (
     fig7_jobs,
     fig8_jobs,
     full_matrix,
+    traffic_jobs,
     validation_jobs,
 )
 from repro.parallel.runner import JobError, RunReport, run_jobs
@@ -58,5 +59,6 @@ __all__ = [
     "full_matrix",
     "payload_digest",
     "run_jobs",
+    "traffic_jobs",
     "validation_jobs",
 ]

@@ -25,8 +25,12 @@ __all__ = [
     "fig7_jobs",
     "fig8_jobs",
     "full_matrix",
+    "traffic_jobs",
     "validation_jobs",
 ]
+
+#: Traffic mixes in canonical scorecard order.
+TRAFFIC_MIXES = ("poisson", "diurnal", "bursty")
 
 #: Scorecard claim names in canonical (paper) order; mirrors
 #: ``repro.analysis.validation.CLAIM_ORDER`` without importing it.
@@ -115,6 +119,22 @@ def fig8_jobs(apps: Sequence[str], scenario: dict | None = None) -> list[JobSpec
             kwargs={"app": app, **_scenario_kwargs(scenario)},
         )
         for app in apps
+    ]
+
+
+def traffic_jobs(
+    scenario: dict | None = None, mixes: Sequence[str] = TRAFFIC_MIXES
+) -> list[JobSpec]:
+    """One serving cell per arrival mix.  Each cell is hermetic (the
+    scenario dict plus the mix override are the whole input), so results
+    cache and shard like any other matrix cell."""
+    return [
+        JobSpec(
+            name=f"traffic.{mix}",
+            target="repro.service.drill:run_traffic_cell",
+            kwargs={"mix": mix, **_scenario_kwargs(scenario)},
+        )
+        for mix in mixes
     ]
 
 

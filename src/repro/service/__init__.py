@@ -1,0 +1,45 @@
+"""Multi-tenant service frontend: the fleet as a storage cloud.
+
+The paper's closing argument is a datacenter of CompStor nodes serving
+"thousands of concurrent minions"; this package puts the missing *users*
+in front of that fleet.  A :class:`ServiceFrontend` runs the full
+admission -> schedule -> dispatch -> SLO pipeline inside one simulation:
+
+- :mod:`repro.service.tokens` — per-tenant token buckets with full-bucket
+  eviction, so millions of distinct tenant IDs cost state proportional to
+  the *active* set, not the population;
+- :mod:`repro.service.scheduler` — virtual-time weighted fair queuing
+  across priority classes, with deterministic tie-breaking;
+- :mod:`repro.service.traffic` — seeded open-loop arrival streams
+  (Poisson, diurnal, bursty) over configurable tenant populations;
+- :mod:`repro.service.slo` — p50/p99/p999 end-to-end latency, Jain's
+  per-tenant fairness index, shed/violation accounting;
+- :mod:`repro.service.frontend` — the pipeline itself, dispatching into
+  :meth:`repro.cluster.fleet.StorageFleet.serve_one` (retries, breakers,
+  replica failover all engaged);
+- :mod:`repro.service.drill` — traffic cells as hermetic parallel-runner
+  jobs (the ``python -m repro traffic`` verb).
+
+Determinism contract: a traffic run is a pure function of its scenario
+config — same seed + config digest means a byte-identical scorecard, in
+process or across ``--workers N`` spawn workers.
+"""
+
+from repro.service.frontend import ServiceFrontend
+from repro.service.scheduler import WeightedFairQueue
+from repro.service.slo import SloReport, SloTracker, jain_index
+from repro.service.tokens import TenantBuckets, TokenBucket
+from repro.service.traffic import Arrival, TrafficGenerator, assign_class
+
+__all__ = [
+    "Arrival",
+    "ServiceFrontend",
+    "SloReport",
+    "SloTracker",
+    "TenantBuckets",
+    "TokenBucket",
+    "TrafficGenerator",
+    "WeightedFairQueue",
+    "assign_class",
+    "jain_index",
+]

@@ -1,0 +1,55 @@
+"""Traffic cells: one seeded serving run as a hermetic, cacheable job.
+
+``run_traffic_cell`` is the parallel-runner target behind the ``traffic``
+CLI verb and the matrix builder — module-path addressable, JSON-in /
+JSON-out, hermetic (the scenario dict is the entire input), so the result
+cache can replay a cell from its payload digest and ``--workers N``
+produces byte-identical scorecards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Mapping
+
+from repro.config.codec import scenario_from_dict
+from repro.config.schema import ScenarioConfig, ServiceConfig, TrafficConfig
+
+__all__ = ["run_traffic_cell", "service_scenario"]
+
+
+def service_scenario(config: ScenarioConfig, mix: str | None = None) -> ScenarioConfig:
+    """A scenario with its service layer engaged (defaults filled in) and,
+    optionally, the traffic pattern overridden to ``mix``."""
+    service = config.service if config.service is not None else ServiceConfig()
+    traffic = config.traffic if config.traffic is not None else TrafficConfig()
+    if mix is not None:
+        traffic = replace(traffic, pattern=mix)
+    return replace(config, service=service, traffic=traffic)
+
+
+def run_traffic_cell(
+    scenario: Mapping[str, Any] | None = None, mix: str | None = None
+) -> dict:
+    """Stage, arm faults, serve the whole arrival stream, return the
+    scorecard payload (a plain JSON dict; see
+    :meth:`repro.service.slo.SloReport.to_payload`)."""
+    from repro.config.factory import build_corpus, build_fault_plan, build_fleet
+    from repro.config.presets import preset
+    from repro.faults import FaultInjector
+    from repro.service.frontend import ServiceFrontend
+
+    config = (
+        scenario_from_dict(scenario) if scenario is not None else preset("traffic-smoke")
+    )
+    config = service_scenario(config, mix=mix)
+    fleet = build_fleet(config)
+    sim = fleet.sim
+    books = build_corpus(config)
+    sim.run(sim.process(fleet.stage_corpus(books, replicas=config.fleet.replicas)))
+    if config.faults.any:
+        plan = build_fault_plan(config, fleet.device_ring(), base_time=sim.now)
+        FaultInjector.for_fleet(fleet, plan).start()
+    frontend = ServiceFrontend(fleet, config.service, config.traffic, books)
+    report = sim.run(sim.process(frontend.run()))
+    return report.to_payload()

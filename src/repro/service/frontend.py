@@ -1,0 +1,153 @@
+"""The service pipeline: admission -> schedule -> dispatch -> SLO.
+
+:class:`ServiceFrontend` glues the pieces together inside one simulation:
+
+1. **Admission.**  Each open-loop arrival is classed (stable tenant hash),
+   charged against its per-tenant token bucket (shed ``rate_limited``),
+   and checked against the bounded queue (shed ``queue_full``).
+2. **Scheduling.**  Admitted requests enter the weighted fair queue under
+   their priority class.
+3. **Dispatch.**  ``concurrency`` worker processes pull from the WFQ and
+   drive :meth:`StorageFleet.serve_one` — retries, circuit breakers, and
+   replica failover all engaged, so a fault drill under sustained traffic
+   exercises the whole recovery stack under contention.
+4. **SLO.**  Every outcome lands in the :class:`SloTracker`; ``run()``
+   returns the frozen :class:`SloReport` scorecard.
+
+Determinism: arrivals are materialised up front from the traffic seed,
+admission is pure bookkeeping, the WFQ breaks ties by push order, and the
+simulator's event order is stable — so the scorecard is a pure function of
+the scenario config.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Sequence
+
+from repro.cluster.fleet import StorageFleet
+from repro.config.schema import ServiceConfig, TrafficConfig
+from repro.proto.entities import Command
+from repro.service.scheduler import WeightedFairQueue
+from repro.service.slo import SloReport, SloTracker
+from repro.service.tokens import TenantBuckets
+from repro.service.traffic import Arrival, TrafficGenerator, assign_class
+from repro.workloads import BookFile
+
+__all__ = ["ServiceFrontend"]
+
+#: Arrivals between token-bucket eviction sweeps (state-bound housekeeping).
+EVICT_EVERY = 64
+
+
+def _default_command(book: BookFile, tenant: int) -> Command:
+    return Command(command_line=f"grep xylophone {book.name}")
+
+
+class ServiceFrontend:
+    """One multi-tenant serving session over a staged fleet."""
+
+    def __init__(
+        self,
+        fleet: StorageFleet,
+        service: ServiceConfig,
+        traffic: TrafficConfig,
+        books: Sequence[BookFile],
+        command_for: Callable[[BookFile, int], Command] = _default_command,
+    ):
+        if not books:
+            raise ValueError("serving needs at least one staged book")
+        self.fleet = fleet
+        self.sim = fleet.sim
+        self.service = service
+        self.traffic = traffic
+        self.books = list(books)
+        self.command_for = command_for
+        self.tracker = SloTracker(
+            service.classes,
+            fleet.metrics if fleet.metrics.enabled else None,
+        )
+        self.buckets = TenantBuckets()
+        self._classes = {c.name: c for c in service.classes}
+        self._queue = WeightedFairQueue({c.name: c.weight for c in service.classes})
+        self._arrivals_done = False
+        self._signal = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _wait_signal(self):
+        """The shared work-available event (recreated after each trigger)."""
+        if self._signal is None or self._signal.triggered:
+            self._signal = self.sim.event("service.kick")
+        return self._signal
+
+    def _kick(self) -> None:
+        if self._signal is not None and not self._signal.triggered:
+            self._signal.succeed()
+
+    # -- admission -------------------------------------------------------------
+
+    def _admit(self, arrival: Arrival) -> None:
+        cls = self._classes[assign_class(arrival.tenant, self.service.classes)]
+        self.tracker.on_arrival(cls.name)
+        now = self.sim.now
+        if not self.buckets.allow(arrival.tenant, cls.rate, cls.burst, now):
+            self.tracker.on_shed(cls.name, "rate_limited")
+            return
+        if len(self._queue) >= self.service.queue_depth:
+            self.tracker.on_shed(cls.name, "queue_full")
+            return
+        self._queue.push(cls.name, (arrival.tenant, now))
+        self.tracker.on_queue_depth(len(self._queue))
+        self._kick()
+
+    def _arrivals(self) -> Generator:
+        start = self.sim.now
+        stream = TrafficGenerator(self.traffic).arrivals()
+        for index, arrival in enumerate(stream):
+            target = start + arrival.time
+            if target > self.sim.now:
+                yield self.sim.timeout(target - self.sim.now)
+            self._admit(arrival)
+            if (index + 1) % EVICT_EVERY == 0:
+                self.buckets.evict_restorable(self.sim.now)
+        self._arrivals_done = True
+        self._kick()
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _worker(self) -> Generator:
+        while True:
+            if self._queue:
+                class_name, (tenant, admitted_at) = self._queue.pop()
+                self.tracker.on_queue_depth(len(self._queue))
+                wait = self.sim.now - admitted_at
+                book = self.books[tenant % len(self.books)]
+                response, path = yield from self.fleet.serve_one(
+                    book, self.command_for(book, tenant)
+                )
+                if response is None:
+                    self.tracker.on_lost(class_name)
+                else:
+                    self.tracker.on_complete(
+                        class_name, tenant, self.sim.now - admitted_at, wait, path
+                    )
+            elif self._arrivals_done:
+                return
+            else:
+                yield self._wait_signal()
+
+    # -- the run ---------------------------------------------------------------
+
+    def run(self) -> Generator:
+        """Serve the whole configured arrival stream; returns the
+        :class:`SloReport` scorecard."""
+        sim = self.sim
+        procs = [
+            sim.process(self._worker(), name=f"service.worker{i}")
+            for i in range(self.service.concurrency)
+        ]
+        procs.append(sim.process(self._arrivals(), name="service.arrivals"))
+        yield sim.all_of(procs)
+        return self.tracker.report(
+            self.traffic.pattern, peak_buckets=self.buckets.peak_buckets
+        )

@@ -1,0 +1,211 @@
+"""SLO accounting: latency tails, fairness, shed/violation counts.
+
+The tracker is the service frontend's single sink: every arrival,
+admission decision, completion, and loss lands here, and :meth:`report`
+freezes the run into a :class:`SloReport` — the JSON-able scorecard the
+CLI prints, the determinism tests digest, and the CI golden pins.
+
+Instruments are registered on the fleet's metrics registry when metrics
+are enabled (so traffic runs export through :mod:`repro.obs.export` like
+every other subsystem); with metrics off the tracker brings its own
+private enabled registry, because the scorecard itself is not optional.
+
+Latency histograms use the exact-reservoir mode
+(:class:`repro.obs.metrics.Histogram` ``exact_limit``): p999 at a few
+hundred completions is meaningless under bucket interpolation, and exact
+quantiles are also what makes the scorecard byte-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config.schema import PriorityClassConfig
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["SloReport", "SloTracker", "jain_index"]
+
+#: Reservoir bound for exact tail quantiles; beyond this the histograms
+#: degrade to bucket interpolation (drills stay far below it).
+EXACT_LIMIT = 8192
+
+#: Shed reasons the admission pipeline can report.
+SHED_REASONS = ("queue_full", "rate_limited")
+
+
+def jain_index(counts: Sequence[float]) -> float:
+    """Jain's fairness index over per-tenant allocations: 1.0 is perfectly
+    fair, 1/n is maximally unfair.  Empty input reports 1.0 (vacuous)."""
+    values = [float(c) for c in counts]
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+@dataclass(frozen=True, slots=True)
+class SloReport:
+    """One traffic run, frozen: the scorecard payload."""
+
+    pattern: str
+    requests: int
+    admitted: int
+    shed: dict[str, int]
+    completed: int
+    lost: int
+    violations: int
+    p50_ms: float
+    p99_ms: float
+    p999_ms: float
+    queue_wait_p99_ms: float
+    jain: float
+    tenants_seen: int
+    peak_queue: int
+    peak_buckets: int
+    per_class: dict[str, dict[str, float]]
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    def to_payload(self) -> dict:
+        """Plain JSON-encodable dict (canonical-JSON friendly: no NaN,
+        floats rounded so the scorecard digest is byte-stable)."""
+        return {
+            "pattern": self.pattern,
+            "requests": self.requests,
+            "admitted": self.admitted,
+            "shed": dict(sorted(self.shed.items())),
+            "completed": self.completed,
+            "lost": self.lost,
+            "violations": self.violations,
+            "p50_ms": round(self.p50_ms, 6),
+            "p99_ms": round(self.p99_ms, 6),
+            "p999_ms": round(self.p999_ms, 6),
+            "queue_wait_p99_ms": round(self.queue_wait_p99_ms, 6),
+            "jain": round(self.jain, 6),
+            "tenants_seen": self.tenants_seen,
+            "peak_queue": self.peak_queue,
+            "peak_buckets": self.peak_buckets,
+            "per_class": {
+                name: {k: (round(v, 6) if isinstance(v, float) else v)
+                       for k, v in sorted(stats.items())}
+                for name, stats in sorted(self.per_class.items())
+            },
+        }
+
+
+class SloTracker:
+    """Mutable accounting behind :class:`SloReport`."""
+
+    def __init__(
+        self,
+        classes: Sequence[PriorityClassConfig],
+        registry: MetricsRegistry | None = None,
+    ):
+        if registry is None or not registry.enabled:
+            registry = MetricsRegistry(enabled=True)
+        self.registry = registry
+        self.classes = tuple(classes)
+        self._slo_s = {c.name: c.slo_ms / 1e3 for c in classes}
+        self._latency = registry.histogram(
+            "service.request.latency_seconds",
+            "end-to-end latency (arrival to completion)",
+            exact_limit=EXACT_LIMIT,
+        )
+        self._wait = registry.histogram(
+            "service.queue.wait_seconds",
+            "admission-queue wait (arrival to dispatch)",
+            exact_limit=EXACT_LIMIT,
+        )
+        self._requests = registry.counter(
+            "service.requests", "arrivals offered to admission"
+        )
+        self._shed = registry.counter("service.shed", "arrivals shed at admission")
+        self._completed = registry.counter(
+            "service.completed", "requests completed by the fleet"
+        )
+        self._lost = registry.counter(
+            "service.lost", "admitted requests the fleet could not serve"
+        )
+        self._violations = registry.counter(
+            "service.slo.violations", "completions over their class objective"
+        )
+        self._depth = registry.gauge("service.queue.depth", "admission queue depth")
+        self._tenant_completions: dict[int, int] = {}
+        self.peak_queue = 0
+
+    # -- event sinks ---------------------------------------------------------
+
+    def on_arrival(self, class_name: str) -> None:
+        self._requests.inc(cls=class_name)
+
+    def on_shed(self, class_name: str, reason: str) -> None:
+        self._shed.inc(cls=class_name, reason=reason)
+
+    def on_queue_depth(self, depth: int) -> None:
+        if depth > self.peak_queue:
+            self.peak_queue = depth
+        self._depth.set(depth)
+
+    def on_complete(
+        self, class_name: str, tenant: int, latency_s: float, wait_s: float, path: str
+    ) -> None:
+        self._latency.observe(latency_s, cls=class_name)
+        self._wait.observe(wait_s, cls=class_name)
+        self._completed.inc(cls=class_name, path=path)
+        self._tenant_completions[tenant] = self._tenant_completions.get(tenant, 0) + 1
+        if latency_s > self._slo_s[class_name]:
+            self._violations.inc(cls=class_name)
+
+    def on_lost(self, class_name: str) -> None:
+        self._lost.inc(cls=class_name)
+
+    # -- reporting -----------------------------------------------------------
+
+    def _class_count(self, counter, class_name: str, **extra: str) -> int:
+        total = 0.0
+        for labels, value, _t in counter.samples():
+            if labels.get("cls") != class_name:
+                continue
+            if any(labels.get(k) != v for k, v in extra.items()):
+                continue
+            total += value
+        return int(total)
+
+    def report(self, pattern: str, peak_buckets: int = 0) -> SloReport:
+        shed: dict[str, int] = {reason: 0 for reason in SHED_REASONS}
+        for labels, value, _t in self._shed.samples():
+            reason = labels.get("reason", "unknown")
+            shed[reason] = shed.get(reason, 0) + int(value)
+        per_class: dict[str, dict[str, float]] = {}
+        for cls in self.classes:
+            name = cls.name
+            per_class[name] = {
+                "requests": self._class_count(self._requests, name),
+                "completed": self._class_count(self._completed, name),
+                "violations": self._class_count(self._violations, name),
+                "p99_ms": self._latency.percentile(0.99, cls=name) * 1e3,
+            }
+        return SloReport(
+            pattern=pattern,
+            requests=int(self._requests.total()),
+            admitted=int(self._requests.total() - self._shed.total()),
+            shed=shed,
+            completed=int(self._completed.total()),
+            lost=int(self._lost.total()),
+            violations=int(self._violations.total()),
+            p50_ms=self._latency.aggregate_percentile(0.50) * 1e3,
+            p99_ms=self._latency.aggregate_percentile(0.99) * 1e3,
+            p999_ms=self._latency.aggregate_percentile(0.999) * 1e3,
+            queue_wait_p99_ms=self._wait.aggregate_percentile(0.99) * 1e3,
+            jain=jain_index(list(self._tenant_completions.values())),
+            tenants_seen=len(self._tenant_completions),
+            peak_queue=self.peak_queue,
+            peak_buckets=peak_buckets,
+            per_class=per_class,
+        )

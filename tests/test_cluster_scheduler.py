@@ -134,3 +134,54 @@ def test_dispatcher_records_placements():
     assert len(dispatcher.placements) == 2
     devices = [d for d, _ in dispatcher.placements]
     assert set(devices) == {"compstor0", "compstor1"}
+
+
+def test_least_loaded_ties_break_in_attachment_order():
+    """Regression: equal load scores used to tie-break lexicographically,
+    which puts "compstor10" ahead of "compstor2" — placement (and any
+    fairness result built on it) then depends on how devices happen to be
+    named.  Ties must break by stable attachment order instead."""
+
+    class _Snap:
+        def __init__(self, score):
+            self._score = score
+
+        def load_score(self):
+            return self._score
+
+    class _Client:
+        """Just enough of InSituClient for LeastLoadedBalancer.pick."""
+
+        def __init__(self, names, scores=None):
+            self._names = list(names)
+            self._scores = scores or {}
+
+        def devices(self):
+            return list(self._names)
+
+        def breaker_state(self, _name):
+            return "closed"
+
+        def status_all(self, return_exceptions=False):
+            # worst-case iteration order: reversed, to prove the pick does
+            # not depend on dict order either
+            return {n: _Snap(self._scores.get(n, 0.0)) for n in reversed(self._names)}
+            yield  # pragma: no cover - generator protocol
+
+    def pick(client):
+        gen = LeastLoadedBalancer().pick(client)
+        try:
+            next(gen)
+        except StopIteration as stop:
+            return stop.value
+        raise AssertionError("pick should finish without waiting")
+
+    # attachment order wins over lexicographic order on a tie
+    assert pick(_Client(["compstor2", "compstor10"])) == "compstor2"
+    # sanity: lexicographic order would have said compstor10
+    assert min(["compstor2", "compstor10"]) == "compstor10"
+    # twelve devices, all idle: always the first attached
+    names = [f"compstor{i}" for i in range(12)]
+    assert pick(_Client(names)) == "compstor0"
+    # a lower load score still beats attachment order
+    assert pick(_Client(names, scores={"compstor7": -1.0})) == "compstor7"
