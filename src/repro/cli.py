@@ -376,6 +376,54 @@ def _cmd_traffic(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_drill(args: argparse.Namespace) -> None:
+    """Run the metastable-failure drill: the defenses-on cell and its
+    defenses-off counterfactual (same scenario digest, same seed, same
+    fault trigger), scored for goodput recovery after the trigger clears.
+
+    The drill *fails* (exit 1) unless defenses-on recovers to the
+    configured bar within the recovery window while defenses-off shows
+    sustained degradation — the metastable signature.  Cells are hermetic
+    matrix jobs, so they shard across ``--workers`` and cache; the
+    trailing scorecard digest is the byte-stable identity CI pins.
+    """
+    from repro.parallel import drill_jobs, payload_digest
+
+    _, payload = _scenario_payload(args)
+    report = _run_matrix(drill_jobs(payload), args)
+    values = report.values()
+    rows = []
+    failures = []
+    for value in values:
+        meta = value["metastable"]
+        closed = value["closed"]
+        arm = "on" if value["defenses"] else "off"
+        rows.append([
+            arm, closed["issued"], closed["retried"], closed["abandoned"],
+            sum(value["shed"].values()), value.get("dropped") or 0,
+            f"{meta['pre_goodput_per_window']:.1f}",
+            "yes" if meta["recovered"] else "no",
+            "-" if meta["recovered_after_ms"] is None
+            else f"{meta['recovered_after_ms']:.0f}",
+            "yes" if meta["sustained_degradation"] else "no",
+        ])
+        if value["defenses"] and not meta["recovered"]:
+            failures.append("defenses-on did not recover within the window")
+        if not value["defenses"] and not meta["sustained_degradation"]:
+            failures.append("defenses-off did not sustain degradation")
+    print(format_series_table(
+        "metastable drill (goodput = fresh completions per window)",
+        ["defenses", "issued", "retried", "abandoned", "shed", "dropped",
+         "pre-trigger", "recovered", "after ms", "sustained degr."],
+        rows,
+    ))
+    print(f"scorecard digest={payload_digest(values)}")
+    if failures:
+        for failure in failures:
+            print(f"drill failed: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+
+
 def _cmd_metrics(args: argparse.Namespace) -> None:
     """Run a workload with full observability on; dump every export surface.
 
@@ -614,6 +662,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_args(p)
     add_scenario_args(p, default_preset="traffic-smoke")
     p.set_defaults(func=_cmd_traffic)
+
+    p = sub.add_parser(
+        "drill",
+        help="metastable-failure drill (closed-loop load, defenses on vs off)",
+    )
+    _add_parallel_args(p)
+    add_scenario_args(p, default_preset="metastable")
+    p.set_defaults(func=_cmd_drill)
 
     p = sub.add_parser("metrics", help="observability dump: metrics + span tree")
     p.add_argument("--workload", default="grep",

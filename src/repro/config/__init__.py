@@ -39,6 +39,8 @@ from repro.config.factory import (
 from repro.config.overrides import apply_overrides, parse_assignments
 from repro.config.presets import PRESETS, preset, preset_names
 from repro.config.schema import (
+    BurnWindowConfig,
+    ClosedLoopConfig,
     FaultSpec,
     FaultsConfig,
     FlashConfig,
@@ -46,11 +48,14 @@ from repro.config.schema import (
     IspsConfig,
     NvmeConfig,
     ObsConfig,
+    OverloadConfig,
     PcieConfig,
     ScenarioConfig,
 )
 
 __all__ = [
+    "BurnWindowConfig",
+    "ClosedLoopConfig",
     "ConfigError",
     "FaultSpec",
     "FaultsConfig",
@@ -59,6 +64,7 @@ __all__ = [
     "IspsConfig",
     "NvmeConfig",
     "ObsConfig",
+    "OverloadConfig",
     "PRESETS",
     "PcieConfig",
     "ScenarioConfig",

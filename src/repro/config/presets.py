@@ -11,10 +11,12 @@ cell exactly.
 from __future__ import annotations
 
 from repro.config.schema import (
+    ClosedLoopConfig,
     FaultSpec,
     FaultsConfig,
     FlashConfig,
     FleetConfig,
+    OverloadConfig,
     ScenarioConfig,
     ServiceConfig,
     TrafficConfig,
@@ -130,6 +132,69 @@ def _traffic_burst() -> ScenarioConfig:
     )
 
 
+def _traffic_closedloop() -> ScenarioConfig:
+    """Closed-loop serving with the full defense stack armed: sessions with
+    think time and retries-on-shed over the replicated 2x2 fleet, CoDel +
+    brownout admission, a retry budget, and the AIMD autoscaler."""
+    return ScenarioConfig(
+        name="traffic-closedloop",
+        flash=FlashConfig(capacity_bytes=24 * 1024 * 1024),
+        fleet=FleetConfig(nodes=2, devices_per_node=2, replicas=2),
+        corpus=CorpusSpec(files=8, mean_file_bytes=32 * 1024, seed=0),
+        retry=RetryPolicy(),
+        breaker=BreakerConfig(),
+        service=ServiceConfig(queue_depth=32, concurrency=4),
+        closed_loop=ClosedLoopConfig(
+            sessions=48, duration_ms=60.0, think_ms=4.0, timeout_ms=12.0,
+            max_retries=3, seed=0,
+        ),
+        overload=OverloadConfig(min_concurrency=4, max_concurrency=12,
+                                aimd_low_ms=0.5, aimd_high_ms=4.0),
+    )
+
+
+def _metastable() -> ScenarioConfig:
+    """The metastable-failure drill: sustained closed-loop load, then a
+    transient fleet-wide limp window (firmware latency x12 for 40 ms)
+    mid-run.  The trigger fills the dispatch queue past the point where
+    sojourn exceeds the client timeout; from there abandoned-but-served
+    (stale) work plus the retry storm keeps the queue full *after* the
+    fault clears — the self-sustaining degraded state.  With defenses
+    armed the drill asserts goodput returns to ``recovery_bar`` of the
+    pre-trigger rate within ``recovery_ms`` of the fault clearing; the
+    defenses-off counterfactual (same seed, same trigger) demonstrates
+    the sustained degradation the defenses prevent.
+
+    Load shape matters for bistability: think time (40 ms) well above the
+    client timeout (12 ms) keeps healthy demand under fleet capacity
+    while letting 56 abandon-retry sessions generate admitted pressure
+    above it — both attractors exist, and the trigger picks."""
+    return ScenarioConfig(
+        name="metastable",
+        flash=FlashConfig(capacity_bytes=24 * 1024 * 1024),
+        fleet=FleetConfig(nodes=2, devices_per_node=2, replicas=2),
+        corpus=CorpusSpec(files=8, mean_file_bytes=32 * 1024, seed=0),
+        retry=RetryPolicy(),
+        breaker=BreakerConfig(),
+        faults=FaultsConfig(
+            seed=0,
+            events=tuple(
+                FaultSpec(kind="limp", ring_index=ring, at_ms=60.0,
+                          duration_ms=40.0, factor=12.0)
+                for ring in range(4)
+            ),
+        ),
+        service=ServiceConfig(queue_depth=32, concurrency=4),
+        closed_loop=ClosedLoopConfig(
+            sessions=56, duration_ms=280.0, think_ms=40.0, timeout_ms=12.0,
+            max_retries=3, seed=0,
+            goodput_window_ms=10.0, recovery_ms=60.0, recovery_bar=0.9,
+        ),
+        overload=OverloadConfig(min_concurrency=4, max_concurrency=16,
+                                aimd_low_ms=0.5, aimd_high_ms=4.0),
+    )
+
+
 PRESETS = {
     "paper-prototype": _paper_prototype,
     "smoke": _smoke,
@@ -138,6 +203,8 @@ PRESETS = {
     "chaos-drill": _chaos_drill,
     "traffic-smoke": _traffic_smoke,
     "traffic-burst": _traffic_burst,
+    "traffic-closedloop": _traffic_closedloop,
+    "metastable": _metastable,
 }
 
 

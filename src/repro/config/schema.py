@@ -36,7 +36,10 @@ from repro.ftl import FtlConfig
 from repro.workloads import CorpusSpec
 
 __all__ = [
+    "DEFAULT_BURN_WINDOWS",
     "DEFAULT_PRIORITY_CLASSES",
+    "BurnWindowConfig",
+    "ClosedLoopConfig",
     "FaultSpec",
     "FaultsConfig",
     "FlashConfig",
@@ -44,6 +47,7 @@ __all__ = [
     "IspsConfig",
     "NvmeConfig",
     "ObsConfig",
+    "OverloadConfig",
     "PcieConfig",
     "PriorityClassConfig",
     "ScenarioConfig",
@@ -348,6 +352,156 @@ class TrafficConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class ClosedLoopConfig:
+    """Closed-loop tenant sessions: think time plus retries-on-shed.
+
+    Unlike the open-loop :class:`TrafficConfig` stream, each of the
+    ``sessions`` concurrent tenants waits for its previous request to
+    resolve (complete, shed, or abandon after ``timeout_ms``) and *thinks*
+    before issuing the next one — so shedding and queueing feed back into
+    offered load, which is the regime where retry storms and metastable
+    failures live.  A shed or abandoned request is retried up to
+    ``max_retries`` times with exponential, jittered backoff.
+    """
+
+    sessions: int = 32
+    duration_ms: float = 50.0  # wall clock each session keeps issuing for
+    think_ms: float = 5.0  # mean exponential think time between requests
+    timeout_ms: float = 20.0  # client abandons (and may retry) after this
+    max_retries: int = 3
+    retry_backoff_ms: float = 2.0
+    retry_multiplier: float = 2.0
+    retry_jitter: float = 0.25  # +/- fraction of the raw backoff
+    seed: int = 0
+    #: Goodput (completions delivered before the client abandoned) is
+    #: bucketed into windows this wide; the metastable drill's recovery
+    #: assertion compares post-fault windows against the pre-trigger mean.
+    goodput_window_ms: float = 5.0
+    recovery_ms: float = 25.0  # drill: recovery deadline after fault clears
+    recovery_bar: float = 0.9  # drill: fraction of pre-trigger goodput
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ValueError("sessions must be >= 1")
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if self.think_ms < 0:
+            raise ValueError("think_ms must be non-negative")
+        if self.timeout_ms <= 0:
+            raise ValueError("timeout_ms must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_ms <= 0:
+            raise ValueError("retry_backoff_ms must be positive")
+        if self.retry_multiplier < 1.0:
+            raise ValueError("retry_multiplier must be >= 1")
+        if not 0.0 <= self.retry_jitter < 1.0:
+            raise ValueError("retry_jitter must be in [0, 1)")
+        if self.goodput_window_ms <= 0:
+            raise ValueError("goodput_window_ms must be positive")
+        if self.recovery_ms <= 0:
+            raise ValueError("recovery_ms must be positive")
+        if not 0.0 < self.recovery_bar <= 1.0:
+            raise ValueError("recovery_bar must be in (0, 1]")
+
+
+@dataclass(frozen=True, slots=True)
+class BurnWindowConfig:
+    """One long/short window pair for multi-window burn-rate alerting.
+
+    Burn rate is ``bad_fraction / (1 - objective)``: 1.0 spends the error
+    budget exactly at the sustainable pace.  An alert fires only when
+    *both* windows burn faster than ``threshold`` — the long window proves
+    the problem is real, the short window proves it is still happening.
+    """
+
+    long_ms: float = 50.0
+    short_ms: float = 5.0
+    threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.long_ms <= 0 or self.short_ms <= 0:
+            raise ValueError("burn windows must be positive")
+        if self.short_ms > self.long_ms:
+            raise ValueError("short_ms must be <= long_ms")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+
+
+#: Default page/fast-burn pair, scaled to simulated-seconds drills.
+DEFAULT_BURN_WINDOWS: tuple[BurnWindowConfig, ...] = (
+    BurnWindowConfig(long_ms=50.0, short_ms=5.0, threshold=2.0),
+    BurnWindowConfig(long_ms=10.0, short_ms=2.0, threshold=10.0),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class OverloadConfig:
+    """Overload defenses for the service frontend.
+
+    Four cooperating mechanisms, each individually classic:
+
+    - **retry budget** — retried requests are admitted only while the
+      budget holds tokens; fresh admissions earn ``retry_budget`` tokens
+      each (capped at ``retry_budget_burst``), every retry spends one, so
+      retries can never exceed that fraction of fresh traffic;
+    - **CoDel** — at dispatch, a request whose queue sojourn exceeded
+      ``codel_target_ms`` for a full ``codel_interval_ms`` is dropped, and
+      the control interval shrinks by ``1/sqrt(drops)`` while the queue
+      stays bad (standing queues drain; bursts pass);
+    - **brownout** — admission sheds the lowest-weight classes first as the
+      queue fills: with ``brownout_start`` = 0.5 and three classes, bronze
+      sheds at >= 50% depth, silver at >= 75%, gold only at the full-queue
+      backstop;
+    - **AIMD autoscaler** — dispatch concurrency is raised by one worker
+      each ``aimd_interval_ms`` the measured queue wait exceeds
+      ``aimd_high_ms``, and multiplied by ``aimd_decrease`` when it falls
+      below ``aimd_low_ms``, within ``[min_concurrency, max_concurrency]``.
+
+    ``slo_objective`` and ``burn_windows`` parameterise burn-rate alerting
+    over the per-window good/bad request series the tracker records.
+    """
+
+    retry_budget: float = 0.1  # retries per fresh admission earned
+    retry_budget_burst: float = 8.0
+    codel_target_ms: float = 2.0
+    codel_interval_ms: float = 20.0
+    brownout_start: float = 0.5  # queue-depth fraction; >= 1 disables
+    aimd_interval_ms: float = 5.0
+    aimd_low_ms: float = 1.0
+    aimd_high_ms: float = 5.0
+    aimd_decrease: float = 0.5
+    min_concurrency: int = 1
+    max_concurrency: int = 16
+    slo_objective: float = 0.999
+    burn_windows: tuple[BurnWindowConfig, ...] = DEFAULT_BURN_WINDOWS
+
+    def __post_init__(self) -> None:
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if self.retry_budget_burst < 1:
+            raise ValueError("retry_budget_burst must be >= 1")
+        if self.codel_target_ms <= 0 or self.codel_interval_ms <= 0:
+            raise ValueError("codel target/interval must be positive")
+        if self.brownout_start <= 0:
+            raise ValueError("brownout_start must be positive (>= 1 disables)")
+        if self.aimd_interval_ms <= 0:
+            raise ValueError("aimd_interval_ms must be positive")
+        if self.aimd_low_ms < 0 or self.aimd_high_ms <= 0:
+            raise ValueError("aimd thresholds must be non-negative/positive")
+        if self.aimd_low_ms > self.aimd_high_ms:
+            raise ValueError("aimd_low_ms must be <= aimd_high_ms")
+        if not 0.0 < self.aimd_decrease < 1.0:
+            raise ValueError("aimd_decrease must be in (0, 1)")
+        if self.min_concurrency < 1:
+            raise ValueError("min_concurrency must be >= 1")
+        if self.max_concurrency < self.min_concurrency:
+            raise ValueError("max_concurrency must be >= min_concurrency")
+        if not 0.0 < self.slo_objective < 1.0:
+            raise ValueError("slo_objective must be in (0, 1)")
+
+
+@dataclass(frozen=True, slots=True)
 class ObsConfig:
     """Observability toggles (both default off: zero-overhead scenarios)."""
 
@@ -393,6 +547,12 @@ class ScenarioConfig:
         default=None, metadata={"omit_if_none": True}
     )
     traffic: TrafficConfig | None = field(
+        default=None, metadata={"omit_if_none": True}
+    )
+    closed_loop: ClosedLoopConfig | None = field(
+        default=None, metadata={"omit_if_none": True}
+    )
+    overload: OverloadConfig | None = field(
         default=None, metadata={"omit_if_none": True}
     )
 

@@ -12,7 +12,7 @@ and proto layers are below the fault layer in the dependency order).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 __all__ = [
@@ -92,16 +92,27 @@ class RetryPolicy:
 
 @dataclass(frozen=True, slots=True)
 class BreakerConfig:
-    """Tuning for per-device circuit breakers."""
+    """Tuning for per-device circuit breakers.
+
+    ``probe_timeout`` bounds how long the single half-open probe slot stays
+    claimed with no recorded outcome before it re-arms; ``None`` (the
+    default, omitted from canonical JSON so pre-existing scenario digests
+    are unchanged) falls back to ``cooldown``.
+    """
 
     failure_threshold: int = 5  # consecutive failures before opening
     cooldown: float = 10e-3  # open -> half-open delay (simulated seconds)
+    probe_timeout: float | None = field(
+        default=None, metadata={"omit_if_none": True}
+    )
 
     def __post_init__(self) -> None:
         if self.failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         if self.cooldown <= 0:
             raise ValueError("cooldown must be positive")
+        if self.probe_timeout is not None and self.probe_timeout <= 0:
+            raise ValueError("probe_timeout must be positive (or None)")
 
 
 class CircuitBreaker:
@@ -111,6 +122,13 @@ class CircuitBreaker:
     a device that keeps failing, so fan-outs stop paying per-attempt
     latency for a dead drive.  After ``cooldown`` one probe is let through
     (half-open); its outcome closes or re-opens the breaker.
+
+    The probe slot carries a deadline: a probe whose outcome is never
+    recorded (the caller shed the request, was cancelled, or died with its
+    device) would otherwise leave ``_probing`` latched and the breaker
+    fast-failing forever.  Once ``probe_timeout`` (default: the cooldown)
+    elapses with no recorded outcome, the slot re-arms and the next
+    ``allow`` admits a fresh probe.
     """
 
     CLOSED = "closed"
@@ -128,8 +146,14 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.opened_at = 0.0
         self._probing = False
+        self._probe_started = 0.0
         self.transitions: list[tuple[float, str]] = []
         self.fast_fails = 0
+
+    @property
+    def _probe_deadline(self) -> float:
+        timeout = self.config.probe_timeout
+        return timeout if timeout is not None else self.config.cooldown
 
     def _move(self, now: float, state: str) -> None:
         if state == self.state:
@@ -147,11 +171,15 @@ class CircuitBreaker:
             if now - self.opened_at >= self.config.cooldown:
                 self._move(now, self.HALF_OPEN)
                 self._probing = True
+                self._probe_started = now
                 return True
             self.fast_fails += 1
             return False
+        if self._probing and now - self._probe_started >= self._probe_deadline:
+            self._probing = False  # probe outcome never recorded: re-arm
         if not self._probing:
             self._probing = True
+            self._probe_started = now
             return True
         self.fast_fails += 1
         return False

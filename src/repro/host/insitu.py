@@ -212,6 +212,19 @@ class InSituClient:
                     if root_span is not None:
                         root_span.end(status=failure)
                     raise InSituError(f"minion {minion.minion_id} failed: {failure}")
+                # jitter draws only happen on this failure path, so healthy
+                # runs consume nothing from the stream (schedule-neutral)
+                delay = policy.backoff(attempt, self.sim.rng("client.retry"))
+                if deadline is not None and self.sim.now + delay >= deadline:
+                    # the backoff would sleep past the per-minion deadline:
+                    # that retry is a guaranteed loss, so fail fast now
+                    # instead of burning the sleep first
+                    if root_span is not None:
+                        root_span.end(status="TIMEOUT")
+                    raise InSituError(
+                        f"minion {minion.minion_id} failed: TIMEOUT "
+                        f"(backoff past deadline after {failure})"
+                    )
                 self.retries += 1
                 if self.metrics.enabled:
                     self._m_retries.inc(device=device, status=failure)
@@ -220,11 +233,7 @@ class InSituClient:
                     minion=minion.minion_id, device=device,
                     attempt=attempt, status=failure,
                 )
-                # jitter draws only happen on this failure path, so healthy
-                # runs consume nothing from the stream (schedule-neutral)
-                yield self.sim.timeout(
-                    policy.backoff(attempt, self.sim.rng("client.retry"))
-                )
+                yield self.sim.timeout(delay)
                 attempt += 1
         finally:
             if root_span is not None:

@@ -14,11 +14,72 @@ controller, and minion latencies from responses (or an enabled
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, Sequence
 
-__all__ = ["FleetHealth", "HealthAggregator"]
+__all__ = ["FleetHealth", "HealthAggregator", "burn_rate_alerts"]
+
+
+def burn_rate_alerts(
+    events: Sequence[tuple[float, bool]],
+    objective: float,
+    windows: Sequence[Any],
+) -> tuple[dict[str, Any], ...]:
+    """Multi-window burn-rate evaluation over a ``(time, good)`` series.
+
+    Burn rate is ``bad_fraction / (1 - objective)``: 1.0 consumes the error
+    budget exactly at the sustainable pace.  For each window pair the alert
+    *fires* at the first instant both the long and the short trailing
+    window burn faster than the pair's threshold — the long window proves
+    the problem is material, the short window proves it is still
+    happening (so a recovered system stops alerting immediately).
+
+    ``windows`` holds :class:`repro.config.schema.BurnWindowConfig`-shaped
+    objects (``long_ms`` / ``short_ms`` / ``threshold``).  Returns one
+    verdict dict per pair; all floats are plain Python floats so verdicts
+    serialise into canonical-JSON scorecards.
+    """
+    if not 0.0 < objective < 1.0:
+        raise ValueError("objective must be in (0, 1)")
+    budget = 1.0 - objective
+    times = [t for t, _ in events]
+    bad_prefix = [0]
+    for _, good in events:
+        bad_prefix.append(bad_prefix[-1] + (0 if good else 1))
+
+    def burn(start_index: int, end_index: int) -> float:
+        total = end_index - start_index
+        if total <= 0:
+            return 0.0
+        bad = bad_prefix[end_index] - bad_prefix[start_index]
+        return (bad / total) / budget
+
+    verdicts = []
+    for window in windows:
+        long_s = window.long_ms / 1e3
+        short_s = window.short_ms / 1e3
+        fired_at: float | None = None
+        worst = 0.0
+        for index, t in enumerate(times):
+            end = index + 1
+            long_burn = burn(bisect_left(times, t - long_s, 0, end), end)
+            short_burn = burn(bisect_left(times, t - short_s, 0, end), end)
+            joint = min(long_burn, short_burn)
+            if joint > worst:
+                worst = joint
+            if fired_at is None and joint >= window.threshold:
+                fired_at = t
+        verdicts.append({
+            "long_ms": float(window.long_ms),
+            "short_ms": float(window.short_ms),
+            "threshold": float(window.threshold),
+            "fired": fired_at is not None,
+            "fired_at_ms": None if fired_at is None else fired_at * 1e3,
+            "worst": worst,
+        })
+    return tuple(verdicts)
 
 
 def _percentile(sorted_samples: list[float], q: float) -> float:
@@ -77,6 +138,12 @@ class FleetHealth:
     service_violations: int = 0
     service_p999_ms: float = 0.0
     service_jain: float = 1.0
+    #: Overload-resilience rollup (PR 7): per-reason shed counts (includes
+    #: ``brownout``/``retry_budget`` once defenses are engaged), CoDel
+    #: drops, and fired multi-window burn-rate alerts.
+    service_shed_reasons: tuple[tuple[str, int], ...] = ()
+    service_dropped: int = 0
+    service_burn_alerts: tuple[str, ...] = ()
 
     @property
     def degraded(self) -> bool:
@@ -114,6 +181,14 @@ class FleetHealth:
             [
                 ["service requests / shed / violations",
                  f"{self.service_requests} / {self.service_shed} / {self.service_violations}"],
+                ["service shed by reason",
+                 ", ".join(f"{reason}={count}"
+                           for reason, count in self.service_shed_reasons)
+                 or "none"],
+                ["service dropped (codel)", self.service_dropped],
+                ["service burn alerts",
+                 "; ".join(self.service_burn_alerts)
+                 if self.service_burn_alerts else "none"],
                 ["service latency p999", f"{self.service_p999_ms:.2f} ms"],
                 ["service fairness (Jain)", f"{self.service_jain:.4f}"],
             ]
@@ -204,6 +279,18 @@ class HealthAggregator:
         shed traffic and SLO violations become operator alerts."""
         self._service = report
 
+    @staticmethod
+    def _burn_alert_strings(report: Any) -> tuple[str, ...]:
+        burn = getattr(report, "burn", None)
+        if not burn:
+            return ()
+        return tuple(
+            f"burn-rate {alert['long_ms']:g}ms/{alert['short_ms']:g}ms "
+            f">= {alert['threshold']:g}x (worst {alert['worst']:.1f}x)"
+            for alert in burn
+            if alert.get("fired")
+        )
+
     def _service_fields(self) -> dict[str, Any]:
         if self._service is None:
             return {}
@@ -215,6 +302,9 @@ class HealthAggregator:
             "service_violations": report.violations,
             "service_p999_ms": report.p999_ms,
             "service_jain": report.jain,
+            "service_shed_reasons": tuple(sorted(report.shed.items())),
+            "service_dropped": getattr(report, "dropped", None) or 0,
+            "service_burn_alerts": self._burn_alert_strings(report),
         }
 
     def _service_alerts(self) -> list[str]:
@@ -228,6 +318,10 @@ class HealthAggregator:
             alerts.append(f"service: {report.violations} SLO violations")
         if report.lost:
             alerts.append(f"service: {report.lost} requests lost in dispatch")
+        dropped = getattr(report, "dropped", None)
+        if dropped:
+            alerts.append(f"service: {dropped} stale requests dropped (CoDel)")
+        alerts.extend(f"service: {s}" for s in self._burn_alert_strings(report))
         return alerts
 
     def observe_minion_latency(self, seconds: float) -> None:

@@ -30,6 +30,7 @@ from repro.parallel.jobs import (
 from repro.parallel.matrix import (
     ablation_jobs,
     bench_jobs,
+    drill_jobs,
     fig1_jobs,
     fig6_jobs,
     fig7_jobs,
@@ -51,6 +52,7 @@ __all__ = [
     "canonical_json",
     "code_digest",
     "default_cache_dir",
+    "drill_jobs",
     "execute_job",
     "fig1_jobs",
     "fig6_jobs",

@@ -20,6 +20,7 @@ from repro.parallel.jobs import JobSpec, repo_root
 __all__ = [
     "ablation_jobs",
     "bench_jobs",
+    "drill_jobs",
     "fig1_jobs",
     "fig6_jobs",
     "fig7_jobs",
@@ -135,6 +136,21 @@ def traffic_jobs(
             kwargs={"mix": mix, **_scenario_kwargs(scenario)},
         )
         for mix in mixes
+    ]
+
+
+def drill_jobs(scenario: dict | None = None) -> list[JobSpec]:
+    """The metastable drill pair: defenses on, then the defenses-off
+    counterfactual of the *same* scenario (same digest, same seed, same
+    fault trigger) — demonstrating both the recovery and the sustained
+    degraded state the defenses prevent."""
+    return [
+        JobSpec(
+            name=f"drill.{tag}",
+            target="repro.service.drill:run_metastable_cell",
+            kwargs={"defenses": defenses, **_scenario_kwargs(scenario)},
+        )
+        for tag, defenses in (("defenses-on", True), ("defenses-off", False))
     ]
 
 

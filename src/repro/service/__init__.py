@@ -25,14 +25,31 @@ config — same seed + config digest means a byte-identical scorecard, in
 process or across ``--workers N`` spawn workers.
 """
 
-from repro.service.frontend import ServiceFrontend
+from repro.service.frontend import QueuedRequest, ServiceFrontend
+from repro.service.overload import (
+    AimdController,
+    Brownout,
+    CoDelController,
+    RetryBudget,
+)
 from repro.service.scheduler import WeightedFairQueue
 from repro.service.slo import SloReport, SloTracker, jain_index
 from repro.service.tokens import TenantBuckets, TokenBucket
-from repro.service.traffic import Arrival, TrafficGenerator, assign_class
+from repro.service.traffic import (
+    Arrival,
+    ClosedLoopDriver,
+    TrafficGenerator,
+    assign_class,
+)
 
 __all__ = [
+    "AimdController",
     "Arrival",
+    "Brownout",
+    "ClosedLoopDriver",
+    "CoDelController",
+    "QueuedRequest",
+    "RetryBudget",
     "ServiceFrontend",
     "SloReport",
     "SloTracker",

@@ -2,38 +2,74 @@
 
 :class:`ServiceFrontend` glues the pieces together inside one simulation:
 
-1. **Admission.**  Each open-loop arrival is classed (stable tenant hash),
-   charged against its per-tenant token bucket (shed ``rate_limited``),
-   and checked against the bounded queue (shed ``queue_full``).
+1. **Admission.**  Each request is classed (stable tenant hash), charged
+   against its per-tenant token bucket (shed ``rate_limited``), and checked
+   against the bounded queue (shed ``queue_full``).  With the overload
+   defenses engaged, retries are charged against the fleet-wide
+   :class:`~repro.service.overload.RetryBudget` (shed ``retry_budget``)
+   and low-priority classes shed early as the queue fills
+   (:class:`~repro.service.overload.Brownout`, shed ``brownout``).
 2. **Scheduling.**  Admitted requests enter the weighted fair queue under
    their priority class.
-3. **Dispatch.**  ``concurrency`` worker processes pull from the WFQ and
-   drive :meth:`StorageFleet.serve_one` — retries, circuit breakers, and
-   replica failover all engaged, so a fault drill under sustained traffic
-   exercises the whole recovery stack under contention.
+3. **Dispatch.**  Worker processes pull from the WFQ and drive
+   :meth:`StorageFleet.serve_one` — retries, circuit breakers, and replica
+   failover all engaged.  With defenses on, a
+   :class:`~repro.service.overload.CoDelController` drops requests whose
+   queue sojourn proves a standing queue (served-stale work is the fuel of
+   metastable failure), and an
+   :class:`~repro.service.overload.AimdController` grows/shrinks the
+   number of active dispatch slots against measured queue wait.
 4. **SLO.**  Every outcome lands in the :class:`SloTracker`; ``run()``
-   returns the frozen :class:`SloReport` scorecard.
+   returns the frozen :class:`SloReport` scorecard — including goodput
+   windows and multi-window burn-rate alert verdicts for closed-loop runs.
 
-Determinism: arrivals are materialised up front from the traffic seed,
-admission is pure bookkeeping, the WFQ breaks ties by push order, and the
+The traffic source is either the open-loop :class:`TrafficGenerator`
+stream (``traffic`` config) or the closed-loop session population
+(:class:`~repro.service.traffic.ClosedLoopDriver`, ``closed_loop``
+config), where shed work feeds back as retries.
+
+Determinism: open-loop arrivals are materialised up front from the traffic
+seed, closed-loop sessions draw from per-session named streams, admission
+is pure bookkeeping, the WFQ breaks ties by push order, and the
 simulator's event order is stable — so the scorecard is a pure function of
-the scenario config.
+the scenario config.  Every overload feature is gated on its config
+section, and the gates sit outside the legacy code paths, so runs without
+``overload``/``closed_loop`` sections replay the exact historical
+schedules (the pinned traffic goldens).
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Generator, Sequence
 
 from repro.cluster.fleet import StorageFleet
-from repro.config.schema import ServiceConfig, TrafficConfig
+from repro.config.schema import (
+    ClosedLoopConfig,
+    OverloadConfig,
+    ServiceConfig,
+    TrafficConfig,
+)
+from repro.obs.health import burn_rate_alerts
 from repro.proto.entities import Command
+from repro.service.overload import (
+    AimdController,
+    Brownout,
+    CoDelController,
+    RetryBudget,
+)
 from repro.service.scheduler import WeightedFairQueue
 from repro.service.slo import SloReport, SloTracker
 from repro.service.tokens import TenantBuckets
-from repro.service.traffic import Arrival, TrafficGenerator, assign_class
+from repro.service.traffic import (
+    Arrival,
+    ClosedLoopDriver,
+    TrafficGenerator,
+    assign_class,
+)
 from repro.workloads import BookFile
 
-__all__ = ["ServiceFrontend"]
+__all__ = ["QueuedRequest", "ServiceFrontend"]
 
 #: Arrivals between token-bucket eviction sweeps (state-bound housekeeping).
 EVICT_EVERY = 64
@@ -43,6 +79,26 @@ def _default_command(book: BookFile, tenant: int) -> Command:
     return Command(command_line=f"grep xylophone {book.name}")
 
 
+class QueuedRequest:
+    """One admitted request in flight through the queue.
+
+    ``done`` (closed-loop only) fires when the request resolves; ``status``
+    is then ``completed``/``dropped``/``lost``.  ``abandoned`` is set by
+    the client when it stops waiting — the request still occupies the
+    queue and may still be served, but that completion is wasted work.
+    """
+
+    __slots__ = ("tenant", "class_name", "admitted_at", "done", "abandoned", "status")
+
+    def __init__(self, tenant: int, class_name: str, admitted_at: float, done=None):
+        self.tenant = tenant
+        self.class_name = class_name
+        self.admitted_at = admitted_at
+        self.done = done
+        self.abandoned = False
+        self.status = "queued"
+
+
 class ServiceFrontend:
     """One multi-tenant serving session over a staged fleet."""
 
@@ -50,27 +106,75 @@ class ServiceFrontend:
         self,
         fleet: StorageFleet,
         service: ServiceConfig,
-        traffic: TrafficConfig,
+        traffic: TrafficConfig | None,
         books: Sequence[BookFile],
         command_for: Callable[[BookFile, int], Command] = _default_command,
+        closed_loop: ClosedLoopConfig | None = None,
+        overload: OverloadConfig | None = None,
     ):
         if not books:
             raise ValueError("serving needs at least one staged book")
+        if (traffic is None) == (closed_loop is None):
+            raise ValueError("need exactly one of traffic (open loop) or "
+                             "closed_loop (sessions)")
         self.fleet = fleet
         self.sim = fleet.sim
         self.service = service
         self.traffic = traffic
+        self.closed_loop = closed_loop
+        self.overload = overload
         self.books = list(books)
         self.command_for = command_for
+        engaged = closed_loop is not None or overload is not None
         self.tracker = SloTracker(
             service.classes,
             fleet.metrics if fleet.metrics.enabled else None,
+            overload=engaged,
         )
         self.buckets = TenantBuckets()
         self._classes = {c.name: c for c in service.classes}
         self._queue = WeightedFairQueue({c.name: c.weight for c in service.classes})
         self._arrivals_done = False
         self._signal = None
+        self.driver = (
+            ClosedLoopDriver(self.sim, closed_loop)
+            if closed_loop is not None
+            else None
+        )
+        self._offers = 0
+        self._wait_sum = 0.0
+        self._wait_count = 0
+        if overload is not None:
+            self.retry_budget = RetryBudget(
+                overload.retry_budget, overload.retry_budget_burst
+            )
+            self._codel = CoDelController(
+                overload.codel_target_ms / 1e3, overload.codel_interval_ms / 1e3
+            )
+            # lowest weight sheds first; name breaks ties deterministically
+            order = tuple(c.name for c in sorted(
+                service.classes, key=lambda c: (c.weight, c.name)
+            ))
+            self._brownout = Brownout(order, overload.brownout_start)
+            self._aimd = AimdController(
+                low=overload.aimd_low_ms / 1e3,
+                high=overload.aimd_high_ms / 1e3,
+                decrease=overload.aimd_decrease,
+                floor=overload.min_concurrency,
+                ceiling=overload.max_concurrency,
+                initial=service.concurrency,
+            )
+            self._worker_count = overload.max_concurrency
+            self._allowed = self._aimd.allowed
+            self._gated = True
+        else:
+            self.retry_budget = None
+            self._codel = None
+            self._brownout = None
+            self._aimd = None
+            self._worker_count = service.concurrency
+            self._allowed = service.concurrency
+            self._gated = False
 
     # -- wiring ---------------------------------------------------------------
 
@@ -87,18 +191,70 @@ class ServiceFrontend:
     # -- admission -------------------------------------------------------------
 
     def _admit(self, arrival: Arrival) -> None:
+        """Open-loop admission: the legacy path, byte-for-byte."""
         cls = self._classes[assign_class(arrival.tenant, self.service.classes)]
         self.tracker.on_arrival(cls.name)
         now = self.sim.now
         if not self.buckets.allow(arrival.tenant, cls.rate, cls.burst, now):
-            self.tracker.on_shed(cls.name, "rate_limited")
+            self.tracker.on_shed(cls.name, "rate_limited", at=now)
+            return
+        if self._brownout is not None and self._brownout.sheds(
+            cls.name, len(self._queue), self.service.queue_depth
+        ):
+            self.tracker.on_shed(cls.name, "brownout", at=now)
             return
         if len(self._queue) >= self.service.queue_depth:
-            self.tracker.on_shed(cls.name, "queue_full")
+            self.tracker.on_shed(cls.name, "queue_full", at=now)
             return
-        self._queue.push(cls.name, (arrival.tenant, now))
+        if self.retry_budget is not None:
+            self.retry_budget.earn()
+        self._queue.push(cls.name, QueuedRequest(arrival.tenant, cls.name, now))
         self.tracker.on_queue_depth(len(self._queue))
         self._kick()
+
+    def offer(self, tenant: int, retry: bool = False) -> QueuedRequest | None:
+        """Closed-loop admission: returns the queued request (carrying a
+        ``done`` event the session can wait on) or ``None`` when shed.
+
+        Retries are charged against the fleet-wide retry budget *first* —
+        under overload, keeping retry pressure off the queue matters more
+        than any per-tenant fairness decision.
+        """
+        cls = self._classes[assign_class(tenant, self.service.classes)]
+        self.tracker.on_arrival(cls.name)
+        now = self.sim.now
+        if retry:
+            self.tracker.on_retry(cls.name)
+            if self.retry_budget is not None and not self.retry_budget.try_spend():
+                self.tracker.on_shed(cls.name, "retry_budget", at=now)
+                return None
+        if not self.buckets.allow(tenant, cls.rate, cls.burst, now):
+            self.tracker.on_shed(cls.name, "rate_limited", at=now)
+            return None
+        if self._brownout is not None and self._brownout.sheds(
+            cls.name, len(self._queue), self.service.queue_depth
+        ):
+            self.tracker.on_shed(cls.name, "brownout", at=now)
+            return None
+        if len(self._queue) >= self.service.queue_depth:
+            self.tracker.on_shed(cls.name, "queue_full", at=now)
+            return None
+        if not retry and self.retry_budget is not None:
+            self.retry_budget.earn()
+        request = QueuedRequest(tenant, cls.name, now,
+                                done=self.sim.event("service.done"))
+        self._queue.push(cls.name, request)
+        self.tracker.on_queue_depth(len(self._queue))
+        self._offers += 1
+        if self._offers % EVICT_EVERY == 0:
+            self.buckets.evict_restorable(now)
+        self._kick()
+        return request
+
+    def abandon(self, request: QueuedRequest) -> None:
+        """The client stopped waiting; the request stays queued (stale)."""
+        request.abandoned = True
+        self.tracker.on_abandon(request.class_name, at=self.sim.now)
 
     def _arrivals(self) -> Generator:
         start = self.sim.now
@@ -113,41 +269,153 @@ class ServiceFrontend:
         self._arrivals_done = True
         self._kick()
 
+    def _sessions(self) -> Generator:
+        yield from self.driver.run(self)
+        self._arrivals_done = True
+        self._kick()
+
     # -- dispatch --------------------------------------------------------------
 
-    def _worker(self) -> Generator:
+    def _finish(self, request: QueuedRequest, status: str) -> None:
+        request.status = status
+        if request.done is not None:
+            request.done.succeed()
+
+    def _drained_kick(self) -> None:
+        """Wake index-gated workers parked above the AIMD allowance so
+        they can observe completion (gated runs only — the legacy path
+        never parks a worker after the source finishes)."""
+        if self._gated and self._arrivals_done and not self._queue:
+            self._kick()
+
+    def _worker(self, index: int) -> Generator:
         while True:
+            if self._gated and index >= self._allowed:
+                if self._arrivals_done and not self._queue:
+                    return
+                yield self._wait_signal()
+                continue
             if self._queue:
-                class_name, (tenant, admitted_at) = self._queue.pop()
+                class_name, request = self._queue.pop()
                 self.tracker.on_queue_depth(len(self._queue))
-                wait = self.sim.now - admitted_at
-                book = self.books[tenant % len(self.books)]
+                now = self.sim.now
+                wait = now - request.admitted_at
+                self._wait_sum += wait
+                self._wait_count += 1
+                if self._codel is not None and self._codel.on_dequeue(now, wait):
+                    self.tracker.on_drop(class_name, at=now)
+                    self._finish(request, "dropped")
+                    self._drained_kick()
+                    continue
+                book = self.books[request.tenant % len(self.books)]
                 response, path = yield from self.fleet.serve_one(
-                    book, self.command_for(book, tenant)
+                    book, self.command_for(book, request.tenant)
                 )
                 if response is None:
-                    self.tracker.on_lost(class_name)
+                    self.tracker.on_lost(class_name, at=self.sim.now)
+                    self._finish(request, "lost")
                 else:
                     self.tracker.on_complete(
-                        class_name, tenant, self.sim.now - admitted_at, wait, path
+                        class_name,
+                        request.tenant,
+                        self.sim.now - request.admitted_at,
+                        wait,
+                        path,
+                        stale=request.abandoned,
+                        at=self.sim.now,
                     )
+                    self._finish(request, "completed")
+                self._drained_kick()
             elif self._arrivals_done:
                 return
             else:
                 yield self._wait_signal()
 
+    def _aimd_loop(self) -> Generator:
+        """The concurrency governor: one AIMD update per control interval,
+        fed the mean queue wait measured at dispatch over that interval
+        (a starved interval under a standing queue reads as a high wait).
+        Daemon timeouts: the governor never keeps the run alive."""
+        overload = self.overload
+        interval = overload.aimd_interval_ms / 1e3
+        high = overload.aimd_high_ms / 1e3
+        while not (self._arrivals_done and not self._queue):
+            yield self.sim.timeout(interval, daemon=True)
+            if self._wait_count:
+                sample = self._wait_sum / self._wait_count
+            elif self._queue:
+                sample = 2.0 * high  # dispatch starved under a standing queue
+            else:
+                sample = 0.0
+            self._wait_sum = 0.0
+            self._wait_count = 0
+            before = self._allowed
+            self._allowed = self._aimd.update(sample)
+            if self._allowed != before:
+                self.tracker.on_concurrency(self._allowed)
+            if self._allowed > before:
+                self._kick()
+
     # -- the run ---------------------------------------------------------------
 
+    def _goodput_windows(self, start: float, end: float) -> dict:
+        window_s = self.closed_loop.goodput_window_ms / 1e3
+        count = max(1, -int(-(end - start) // window_s))  # ceil
+        windows = [0] * count
+        for t in self.tracker.good_times:
+            windows[min(count - 1, int((t - start) / window_s))] += 1
+        return {"window_ms": self.closed_loop.goodput_window_ms, "windows": windows}
+
+    def _attach_overload(self, report: SloReport, start: float) -> SloReport:
+        """Attach the frontend-owned overload/closed-loop sections."""
+        extras: dict = {}
+        if self.driver is not None:
+            counters = self.driver.counters()
+            counters["abandoned"] = self.tracker.abandoned_total
+            counters["stale"] = self.tracker.stale_total
+            extras["closed"] = counters
+            extras["goodput"] = self._goodput_windows(start, self.sim.now)
+        if self.overload is not None:
+            budget = self.retry_budget
+            extras["retry_budget"] = {
+                "requested": budget.requested,
+                "admitted": budget.admitted,
+                "rejected": budget.rejected,
+            }
+            extras["aimd"] = {
+                "final": self._aimd.allowed,
+                "peak": self._aimd.peak,
+                "increases": self._aimd.increases,
+                "decreases": self._aimd.decreases,
+            }
+            extras["burn"] = burn_rate_alerts(
+                self.tracker.events,
+                self.overload.slo_objective,
+                self.overload.burn_windows,
+            )
+        return replace(report, **extras)
+
     def run(self) -> Generator:
-        """Serve the whole configured arrival stream; returns the
+        """Serve the whole configured traffic source; returns the
         :class:`SloReport` scorecard."""
         sim = self.sim
+        start = sim.now
         procs = [
-            sim.process(self._worker(), name=f"service.worker{i}")
-            for i in range(self.service.concurrency)
+            sim.process(self._worker(i), name=f"service.worker{i}")
+            for i in range(self._worker_count)
         ]
-        procs.append(sim.process(self._arrivals(), name="service.arrivals"))
+        if self.driver is not None:
+            procs.append(sim.process(self._sessions(), name="service.sessions"))
+            pattern = "closed-loop"
+        else:
+            procs.append(sim.process(self._arrivals(), name="service.arrivals"))
+            pattern = self.traffic.pattern
+        if self._aimd is not None:
+            sim.process(self._aimd_loop(), name="service.aimd")
         yield sim.all_of(procs)
-        return self.tracker.report(
-            self.traffic.pattern, peak_buckets=self.buckets.peak_buckets
+        report = self.tracker.report(
+            pattern, peak_buckets=self.buckets.peak_buckets
         )
+        if self.closed_loop is not None or self.overload is not None:
+            report = self._attach_overload(report, start)
+        return report

@@ -1,0 +1,198 @@
+"""Overload-control primitives: retry budget, CoDel, brownout, AIMD.
+
+Four small, pure state machines the adaptive frontend composes.  None of
+them owns a clock or a process — time is passed in, so every decision is a
+deterministic function of the observation sequence, the same contract the
+token buckets in :mod:`repro.service.tokens` keep.
+
+The division of labour under overload:
+
+- :class:`RetryBudget` caps the *composition* of traffic: retries can
+  never exceed a configured fraction of fresh admissions, so a shed wave
+  cannot amplify itself into a retry storm;
+- :class:`Brownout` caps *who* gets in as the queue fills: lowest-weight
+  classes shed first, preserving headroom for gold traffic;
+- :class:`CoDelController` bounds *standing queue delay* at dispatch: a
+  request that sat past the sojourn target for a full control interval is
+  dropped rather than served stale (the metastable failure mode is exactly
+  "everything served is already abandoned");
+- :class:`AimdController` adapts *service capacity*: dispatch concurrency
+  climbs additively while queue wait is high and backs off
+  multiplicatively when the queue runs dry.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "AimdController",
+    "Brownout",
+    "CoDelController",
+    "RetryBudget",
+]
+
+#: Slack applied to token/threshold comparisons so float accumulation
+#: error can never flip a decision exact arithmetic would have allowed.
+_EPSILON = 1e-9
+
+
+class RetryBudget:
+    """Token-based fleet-wide retry budget.
+
+    Every *fresh* admission earns ``ratio`` tokens (capped at ``burst``);
+    every retry spends one.  The budget starts full so an isolated retry
+    is always honoured — the cap binds only when retries approach the
+    configured fraction of fresh traffic.  Conservation holds by
+    construction: ``requested == admitted + rejected``.
+    """
+
+    __slots__ = ("ratio", "burst", "tokens", "requested", "admitted", "rejected")
+
+    def __init__(self, ratio: float, burst: float):
+        if ratio < 0:
+            raise ValueError("ratio must be >= 0")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.ratio = ratio
+        self.burst = burst
+        self.tokens = burst
+        self.requested = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def earn(self) -> None:
+        """Credit the budget for one fresh (non-retry) admission."""
+        self.tokens = min(self.burst, self.tokens + self.ratio)
+
+    def try_spend(self) -> bool:
+        """Charge one retry against the budget, or refuse it."""
+        self.requested += 1
+        if self.tokens + _EPSILON >= 1.0:
+            self.tokens -= 1.0
+            self.admitted += 1
+            return True
+        self.rejected += 1
+        return False
+
+
+class Brownout:
+    """Priority-ordered admission shedding on queue depth.
+
+    ``class_order`` lists class names lowest priority first.  Each class
+    gets a queue-depth fraction at which it sheds; every step up halves
+    the remaining headroom (``start`` = 0.5 over gold/silver/bronze puts
+    bronze at 50% depth and silver at 75%), and the *highest* class never
+    browns out — the bounded queue itself is its backstop.  ``start >= 1``
+    disables every threshold.
+    """
+
+    __slots__ = ("thresholds",)
+
+    def __init__(self, class_order: tuple[str, ...], start: float):
+        if start <= 0:
+            raise ValueError("start must be positive")
+        self.thresholds: dict[str, float] = {}
+        for rank, name in enumerate(class_order[:-1]):
+            self.thresholds[name] = 1.0 - (1.0 - start) * 0.5**rank
+
+    def sheds(self, class_name: str, depth: int, capacity: int) -> bool:
+        """Should an arrival of ``class_name`` be shed at this depth?"""
+        threshold = self.thresholds.get(class_name)
+        if threshold is None or threshold >= 1.0:
+            return False
+        return depth >= threshold * capacity - _EPSILON
+
+
+class CoDelController:
+    """CoDel's drop-at-dequeue control law on queue sojourn time.
+
+    ``on_dequeue(now, sojourn)`` returns True when the just-dequeued
+    request should be dropped.  Sojourn below ``target`` resets the
+    controller (bursts pass untouched); once sojourn has stayed above
+    target for a full ``interval`` the controller enters its dropping
+    state and drops at ``interval / sqrt(count)`` spacing — the classic
+    square-root control law that tightens pressure while the standing
+    queue persists.
+    """
+
+    __slots__ = ("target", "interval", "first_above", "dropping",
+                 "drop_next", "count", "drops")
+
+    def __init__(self, target: float, interval: float):
+        if target <= 0 or interval <= 0:
+            raise ValueError("target and interval must be positive")
+        self.target = target
+        self.interval = interval
+        self.first_above: float | None = None
+        self.dropping = False
+        self.drop_next = 0.0
+        self.count = 0
+        self.drops = 0
+
+    def on_dequeue(self, now: float, sojourn: float) -> bool:
+        if sojourn < self.target:
+            self.first_above = None
+            self.dropping = False
+            return False
+        if self.first_above is None:
+            self.first_above = now + self.interval
+            return False
+        if not self.dropping:
+            if now < self.first_above:
+                return False
+            self.dropping = True
+            self.count = 1
+        elif now < self.drop_next:
+            return False
+        else:
+            self.count += 1
+        self.drops += 1
+        self.drop_next = now + self.interval / math.sqrt(self.count)
+        return True
+
+
+class AimdController:
+    """Additive-increase / multiplicative-decrease concurrency governor.
+
+    ``update(queue_wait)`` is called once per control interval with the
+    queue wait measured over that interval: wait above ``high`` adds one
+    dispatch slot, wait below ``low`` multiplies the allowance by
+    ``decrease`` (ceiling, so the floor is reachable but never crossed).
+    The returned allowance is always within ``[floor, ceiling]``.
+    """
+
+    __slots__ = ("low", "high", "decrease", "floor", "ceiling",
+                 "allowed", "increases", "decreases", "peak")
+
+    def __init__(self, low: float, high: float, decrease: float,
+                 floor: int, ceiling: int, initial: int):
+        if low < 0 or high <= 0 or low > high:
+            raise ValueError("need 0 <= low <= high, high > 0")
+        if not 0.0 < decrease < 1.0:
+            raise ValueError("decrease must be in (0, 1)")
+        if floor < 1 or ceiling < floor:
+            raise ValueError("need 1 <= floor <= ceiling")
+        self.low = low
+        self.high = high
+        self.decrease = decrease
+        self.floor = floor
+        self.ceiling = ceiling
+        self.allowed = min(max(initial, floor), ceiling)
+        self.increases = 0
+        self.decreases = 0
+        self.peak = self.allowed
+
+    def update(self, queue_wait: float) -> int:
+        if queue_wait > self.high:
+            if self.allowed < self.ceiling:
+                self.allowed += 1
+                self.increases += 1
+                if self.allowed > self.peak:
+                    self.peak = self.allowed
+        elif queue_wait < self.low:
+            shrunk = max(self.floor, math.ceil(self.allowed * self.decrease))
+            if shrunk < self.allowed:
+                self.allowed = shrunk
+                self.decreases += 1
+        return self.allowed

@@ -24,14 +24,17 @@ from typing import Sequence
 from repro.config.schema import PriorityClassConfig
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["SloReport", "SloTracker", "jain_index"]
+__all__ = ["OVERLOAD_SHED_REASONS", "SHED_REASONS", "SloReport", "SloTracker", "jain_index"]
 
 #: Reservoir bound for exact tail quantiles; beyond this the histograms
 #: degrade to bucket interpolation (drills stay far below it).
 EXACT_LIMIT = 8192
 
-#: Shed reasons the admission pipeline can report.
+#: Shed reasons the baseline admission pipeline can report.
 SHED_REASONS = ("queue_full", "rate_limited")
+
+#: Additional shed reasons once the overload defenses are engaged.
+OVERLOAD_SHED_REASONS = ("brownout", "retry_budget")
 
 
 def jain_index(counts: Sequence[float]) -> float:
@@ -67,6 +70,15 @@ class SloReport:
     peak_queue: int
     peak_buckets: int
     per_class: dict[str, dict[str, float]]
+    # Overload / closed-loop sections.  ``None`` (the default for every
+    # open-loop run without defenses) keeps them out of the payload, so
+    # pre-existing scorecards stay byte-identical.
+    dropped: int | None = None  # CoDel drops at dispatch (post-admission)
+    closed: dict | None = None  # session counters: issued/retried/...
+    retry_budget: dict | None = None  # requested/admitted/rejected
+    aimd: dict | None = None  # concurrency governor trajectory
+    goodput: dict | None = None  # windowed fresh-completion counts
+    burn: tuple | None = None  # multi-window burn-rate alert evaluations
 
     @property
     def shed_total(self) -> int:
@@ -75,7 +87,7 @@ class SloReport:
     def to_payload(self) -> dict:
         """Plain JSON-encodable dict (canonical-JSON friendly: no NaN,
         floats rounded so the scorecard digest is byte-stable)."""
-        return {
+        payload: dict = {
             "pattern": self.pattern,
             "requests": self.requests,
             "admitted": self.admitted,
@@ -97,6 +109,26 @@ class SloReport:
                 for name, stats in sorted(self.per_class.items())
             },
         }
+        if self.dropped is not None:
+            payload["dropped"] = self.dropped
+        if self.closed is not None:
+            payload["closed"] = dict(sorted(self.closed.items()))
+        if self.retry_budget is not None:
+            payload["retry_budget"] = dict(sorted(self.retry_budget.items()))
+        if self.aimd is not None:
+            payload["aimd"] = dict(sorted(self.aimd.items()))
+        if self.goodput is not None:
+            payload["goodput"] = {
+                "window_ms": round(self.goodput["window_ms"], 6),
+                "windows": list(self.goodput["windows"]),
+            }
+        if self.burn is not None:
+            payload["burn"] = [
+                {k: (round(v, 6) if isinstance(v, float) else v)
+                 for k, v in sorted(alert.items())}
+                for alert in self.burn
+            ]
+        return payload
 
 
 class SloTracker:
@@ -106,10 +138,12 @@ class SloTracker:
         self,
         classes: Sequence[PriorityClassConfig],
         registry: MetricsRegistry | None = None,
+        overload: bool = False,
     ):
         if registry is None or not registry.enabled:
             registry = MetricsRegistry(enabled=True)
         self.registry = registry
+        self.overload = overload
         self.classes = tuple(classes)
         self._slo_s = {c.name: c.slo_ms / 1e3 for c in classes}
         self._latency = registry.histogram(
@@ -138,22 +172,77 @@ class SloTracker:
         self._depth = registry.gauge("service.queue.depth", "admission queue depth")
         self._tenant_completions: dict[int, int] = {}
         self.peak_queue = 0
+        # Overload/closed-loop instruments and the (time, good) event
+        # series burn-rate alerting consumes — registered only when the
+        # defenses are engaged, so legacy runs export exactly what they
+        # always did.
+        if overload:
+            self._dropped = registry.counter(
+                "service.dropped", "admitted requests dropped at dispatch"
+            )
+            self._stale = registry.counter(
+                "service.stale", "completions delivered after client abandonment"
+            )
+            self._abandoned = registry.counter(
+                "service.abandoned", "requests whose client stopped waiting"
+            )
+            self._retries = registry.counter(
+                "service.retries", "retry attempts offered to admission"
+            )
+            self._concurrency = registry.gauge(
+                "service.concurrency", "AIMD-governed dispatch slots"
+            )
+        else:
+            self._dropped = self._stale = self._abandoned = None
+            self._retries = self._concurrency = None
+        self.events: list[tuple[float, bool]] = []  # (time, good)
+        self.good_times: list[float] = []  # fresh-completion times
 
     # -- event sinks ---------------------------------------------------------
 
     def on_arrival(self, class_name: str) -> None:
         self._requests.inc(cls=class_name)
 
-    def on_shed(self, class_name: str, reason: str) -> None:
+    def on_retry(self, class_name: str) -> None:
+        if self._retries is not None:
+            self._retries.inc(cls=class_name)
+
+    def on_shed(self, class_name: str, reason: str, at: float | None = None) -> None:
         self._shed.inc(cls=class_name, reason=reason)
+        if self.overload and at is not None:
+            self.events.append((at, False))
 
     def on_queue_depth(self, depth: int) -> None:
         if depth > self.peak_queue:
             self.peak_queue = depth
         self._depth.set(depth)
 
+    def on_concurrency(self, allowed: int) -> None:
+        if self._concurrency is not None:
+            self._concurrency.set(allowed)
+
+    def on_drop(self, class_name: str, at: float | None = None) -> None:
+        """An admitted request dropped at dispatch (CoDel sojourn control)."""
+        self._dropped.inc(cls=class_name, reason="codel")
+        if at is not None:
+            self.events.append((at, False))
+
+    def on_abandon(self, class_name: str, at: float | None = None) -> None:
+        """The client stopped waiting; the request may still be served
+        (stale) — that later completion is wasted work, not a good event."""
+        self._abandoned.inc(cls=class_name)
+        if at is not None:
+            self.events.append((at, False))
+
     def on_complete(
-        self, class_name: str, tenant: int, latency_s: float, wait_s: float, path: str
+        self,
+        class_name: str,
+        tenant: int,
+        latency_s: float,
+        wait_s: float,
+        path: str,
+        stale: bool = False,
+        at: float | None = None,
     ) -> None:
         self._latency.observe(latency_s, cls=class_name)
         self._wait.observe(wait_s, cls=class_name)
@@ -161,9 +250,16 @@ class SloTracker:
         self._tenant_completions[tenant] = self._tenant_completions.get(tenant, 0) + 1
         if latency_s > self._slo_s[class_name]:
             self._violations.inc(cls=class_name)
+        if stale:
+            self._stale.inc(cls=class_name)
+        elif self.overload and at is not None:
+            self.events.append((at, True))
+            self.good_times.append(at)
 
-    def on_lost(self, class_name: str) -> None:
+    def on_lost(self, class_name: str, at: float | None = None) -> None:
         self._lost.inc(cls=class_name)
+        if self.overload and at is not None:
+            self.events.append((at, False))
 
     # -- reporting -----------------------------------------------------------
 
@@ -177,8 +273,25 @@ class SloTracker:
             total += value
         return int(total)
 
+    @property
+    def dropped_total(self) -> int:
+        return int(self._dropped.total()) if self._dropped is not None else 0
+
+    @property
+    def stale_total(self) -> int:
+        return int(self._stale.total()) if self._stale is not None else 0
+
+    @property
+    def abandoned_total(self) -> int:
+        return int(self._abandoned.total()) if self._abandoned is not None else 0
+
+    @property
+    def retries_total(self) -> int:
+        return int(self._retries.total()) if self._retries is not None else 0
+
     def report(self, pattern: str, peak_buckets: int = 0) -> SloReport:
-        shed: dict[str, int] = {reason: 0 for reason in SHED_REASONS}
+        reasons = SHED_REASONS + (OVERLOAD_SHED_REASONS if self.overload else ())
+        shed: dict[str, int] = {reason: 0 for reason in reasons}
         for labels, value, _t in self._shed.samples():
             reason = labels.get("reason", "unknown")
             shed[reason] = shed.get(reason, 0) + int(value)
@@ -208,4 +321,5 @@ class SloTracker:
             peak_queue=self.peak_queue,
             peak_buckets=peak_buckets,
             per_class=per_class,
+            dropped=self.dropped_total if self.overload else None,
         )

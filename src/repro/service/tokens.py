@@ -36,9 +36,13 @@ class TokenBucket:
         self.updated = now
 
     def refill(self, now: float) -> None:
+        # Clamp, never rewind: a caller handing in an earlier timestamp
+        # (out-of-order bookkeeping, clock skew between subsystems) must not
+        # move ``updated`` backwards — the next on-time refill would credit
+        # the same elapsed span twice, granting phantom tokens.
         if now > self.updated:
             self.tokens = min(self.capacity, self.tokens + (now - self.updated) * self.rate)
-        self.updated = now
+            self.updated = now
 
     def try_take(self, now: float, cost: float = 1.0) -> bool:
         """Admit (and charge) one request, or refuse without charging."""

@@ -26,13 +26,13 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Generator, Sequence
 
 import numpy as np
 
-from repro.config.schema import PriorityClassConfig, TrafficConfig
+from repro.config.schema import ClosedLoopConfig, PriorityClassConfig, TrafficConfig
 
-__all__ = ["Arrival", "TrafficGenerator", "assign_class"]
+__all__ = ["Arrival", "ClosedLoopDriver", "TrafficGenerator", "assign_class"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -138,3 +138,90 @@ class TrafficGenerator:
         u = rng.random(size=n)
         ids = np.floor(cfg.tenants * np.power(u, cfg.skew)).astype(np.int64)
         return np.minimum(ids, cfg.tenants - 1)
+
+
+class ClosedLoopDriver:
+    """Drives concurrent *closed-loop* tenant sessions against a frontend.
+
+    Where :class:`TrafficGenerator` is open loop (arrivals come no matter
+    what), each of these sessions is one tenant that waits for its previous
+    request to resolve — completion, shed, drop, loss, or a client timeout
+    after ``timeout_ms`` — then retries (bounded, with jittered exponential
+    backoff) or thinks and issues the next one.  Shed and abandoned work
+    therefore *comes back* as offered load: the retry-storm feedback loop
+    the overload defenses exist to break, and the regime metastable
+    failures live in.
+
+    Each session draws think times and backoff jitter from its own named
+    simulator stream, so the whole drive is a pure function of the config
+    regardless of event interleaving.
+    """
+
+    def __init__(self, sim: Any, config: ClosedLoopConfig):
+        self.sim = sim
+        self.config = config
+        self.issued = 0  # fresh requests (retries not included)
+        self.retried = 0  # retry attempts offered to admission
+        self.succeeded = 0  # requests whose client saw a completion
+        self.gave_up = 0  # requests abandoned for good (retries exhausted)
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "sessions": self.config.sessions,
+            "issued": self.issued,
+            "retried": self.retried,
+            "succeeded": self.succeeded,
+            "gave_up": self.gave_up,
+        }
+
+    def run(self, frontend: Any) -> Generator:
+        procs = [
+            self.sim.process(
+                self._session(frontend, index), name=f"service.session{index}"
+            )
+            for index in range(self.config.sessions)
+        ]
+        yield self.sim.all_of(procs)
+
+    def _session(self, frontend: Any, index: int) -> Generator:
+        cfg = self.config
+        rng = self.sim.rng(f"service.session.{cfg.seed}.{index}")
+        end = self.sim.now + cfg.duration_ms / 1e3
+        if cfg.think_ms > 0:
+            # Stagger session starts across one think interval: an
+            # all-at-once herd at t=0 can push a bistable system straight
+            # into its degraded attractor before any trigger fires.
+            yield self.sim.timeout(float(rng.random()) * cfg.think_ms / 1e3)
+        while self.sim.now < end:
+            self.issued += 1
+            yield from self._request(frontend, index, rng)
+            if cfg.think_ms > 0:
+                yield self.sim.timeout(float(rng.exponential(cfg.think_ms / 1e3)))
+
+    def _request(self, frontend: Any, tenant: int, rng: Any) -> Generator:
+        """One request through shed/abandon/retry resolution."""
+        cfg = self.config
+        attempt = 0
+        while True:
+            request = frontend.offer(tenant, retry=attempt > 0)
+            if request is not None:
+                yield self.sim.any_of([
+                    request.done,
+                    self.sim.timeout(cfg.timeout_ms / 1e3, daemon=True),
+                ])
+                if request.done.triggered:
+                    if request.status == "completed":
+                        self.succeeded += 1
+                        return
+                    # dropped or lost: resolved against us — retryable
+                else:
+                    frontend.abandon(request)
+            if attempt >= cfg.max_retries:
+                self.gave_up += 1
+                return
+            attempt += 1
+            self.retried += 1
+            delay = (cfg.retry_backoff_ms / 1e3) * cfg.retry_multiplier ** (attempt - 1)
+            if cfg.retry_jitter:
+                delay *= 1.0 + cfg.retry_jitter * (2.0 * float(rng.random()) - 1.0)
+            yield self.sim.timeout(delay)
