@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Interleaved A/B: monolithic kernel vs the sharded engine, same workload.
+
+Measures the gzip-then-grep job phase on an N-device scenario two ways —
+one monolithic ``Simulator`` heap vs per-device shard cells under the
+conservative engine — alternating A/B pairs in a single process so both
+sides see identical host conditions.  Protocol:
+
+- one warm-up pair runs first and is **discarded** (cold allocator and
+  bytecode effects otherwise inflate whichever side runs first by up to
+  2x — measured on this repo's history; see BENCH_sim.json notes);
+- then ``pairs`` alternating (mono, shard) measurements;
+- the reported rate per side is the **median** events/sec, which is
+  robust to one-off scheduler stalls that best-of-N would hide
+  asymmetrically.
+
+Prints one line per side plus the ratio.  On a single-core host the
+sequential shard backend is expected to land below 1.0x (the sync rounds
+are pure overhead when there is no parallel hardware); the ratio column
+exists so multi-core hosts can record their speedup honestly in
+BENCH_sim.json the same way.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/ab_shard.py [devices] [pairs] [shards]
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time  # wall-clock on purpose: this measures the host, not the model
+
+from repro.analysis.perf import BenchScenario
+from repro.sim.shard import ShardRun
+
+DEVICES = 8
+PAIRS = 4
+SHARDS = 4
+
+
+def mono_rate(scenario: BenchScenario) -> float:
+    node, books = scenario.build()
+    sim = node.sim
+    before = sim.events_processed
+    t0 = time.perf_counter()
+    sim.run(sim.process(scenario.job(node, books)))
+    wall = time.perf_counter() - t0
+    return (sim.events_processed - before) / wall
+
+
+def shard_rate(scenario: BenchScenario) -> float:
+    run = ShardRun(scenario.config(), workload="jobs", apps=("gzip", "grep"))
+    run.prepare()
+    try:
+        t0 = time.perf_counter()
+        stats = run.execute()
+        wall = time.perf_counter() - t0
+        run.finish()
+    finally:
+        run.close()
+    return (stats.host_events + stats.cell_events) / wall
+
+
+def main(argv: list[str]) -> int:
+    devices = int(argv[1]) if len(argv) > 1 else DEVICES
+    pairs = int(argv[2]) if len(argv) > 2 else PAIRS
+    shards = int(argv[3]) if len(argv) > 3 else SHARDS
+    mono = BenchScenario(f"ab-n{devices}", devices=devices)
+    shard = BenchScenario(f"ab-n{devices}-shard", devices=devices, shards=shards)
+    mono_rate(mono), shard_rate(shard)  # warm-up pair, discarded
+    mono_rates, shard_rates = [], []
+    for _ in range(pairs):
+        mono_rates.append(mono_rate(mono))
+        shard_rates.append(shard_rate(shard))
+    mono_med = statistics.median(mono_rates)
+    shard_med = statistics.median(shard_rates)
+    print(f"mono  n{devices}: {mono_med:>12,.0f} ev/s  "
+          f"({', '.join(f'{r/1e3:.0f}k' for r in mono_rates)})")
+    print(f"shard n{devices}: {shard_med:>12,.0f} ev/s  "
+          f"({', '.join(f'{r/1e3:.0f}k' for r in shard_rates)})  x{shards}")
+    print(f"ratio shard/mono: {shard_med / mono_med:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

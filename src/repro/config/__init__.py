@@ -51,6 +51,7 @@ from repro.config.schema import (
     OverloadConfig,
     PcieConfig,
     ScenarioConfig,
+    ShardingConfig,
 )
 
 __all__ = [
@@ -68,6 +69,7 @@ __all__ = [
     "PRESETS",
     "PcieConfig",
     "ScenarioConfig",
+    "ShardingConfig",
     "apply_overrides",
     "bind_metrics_clock",
     "build_corpus",

@@ -19,6 +19,7 @@ from repro.config.schema import (
     OverloadConfig,
     ScenarioConfig,
     ServiceConfig,
+    ShardingConfig,
     TrafficConfig,
 )
 from repro.faults.retry import BreakerConfig, RetryPolicy
@@ -195,6 +196,29 @@ def _metastable() -> ScenarioConfig:
     )
 
 
+def _traffic_soak() -> ScenarioConfig:
+    """The 100k-request deterministic soak: a replicated 4x4 fleet serving
+    a seeded Poisson stream long enough to shake out slow state leaks
+    (queue residue, id drift, horizon creep) that short drills never see.
+    No faults — the soak isolates the steady-state serving path, so any
+    digest drift between runs or shard counts is a determinism bug, not
+    recovery noise.  Ships with a sharding section so the scale-out engine
+    is the default execution; ``--shards``/``--set`` can still re-group
+    it without changing the scorecard digest."""
+    return ScenarioConfig(
+        name="traffic-soak",
+        flash=FlashConfig(capacity_bytes=24 * 1024 * 1024),
+        fleet=FleetConfig(nodes=4, devices_per_node=4, replicas=2),
+        corpus=CorpusSpec(files=16, mean_file_bytes=16 * 1024, seed=0),
+        retry=RetryPolicy(),
+        breaker=BreakerConfig(),
+        service=ServiceConfig(queue_depth=64, concurrency=16),
+        traffic=TrafficConfig(pattern="poisson", requests=100_000, rate=40_000.0,
+                              tenants=1_000_000, skew=1.2, seed=0),
+        sharding=ShardingConfig(shards=4, backend="sequential", window_us=50.0),
+    )
+
+
 PRESETS = {
     "paper-prototype": _paper_prototype,
     "smoke": _smoke,
@@ -204,6 +228,7 @@ PRESETS = {
     "traffic-smoke": _traffic_smoke,
     "traffic-burst": _traffic_burst,
     "traffic-closedloop": _traffic_closedloop,
+    "traffic-soak": _traffic_soak,
     "metastable": _metastable,
 }
 

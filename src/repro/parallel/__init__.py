@@ -36,6 +36,7 @@ from repro.parallel.matrix import (
     fig7_jobs,
     fig8_jobs,
     full_matrix,
+    shard_jobs,
     traffic_jobs,
     validation_jobs,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "full_matrix",
     "payload_digest",
     "run_jobs",
+    "shard_jobs",
     "traffic_jobs",
     "validation_jobs",
 ]

@@ -1,0 +1,55 @@
+"""Sharded scale-out simulation with conservative time synchronization.
+
+Partitions one scenario into per-device event loops (cells) plus a host
+domain, synchronized with lookahead-based conservative windows across the
+PCIe boundary.  See DESIGN.md §14 for the protocol; the differential
+equivalence suite (``tests/test_shard_equivalence.py``) pins schedules
+byte-identical across shard counts and backends.
+"""
+
+from repro.sim.shard.cell import SEED_STRIDE, DeviceCell
+from repro.sim.shard.engine import (
+    DEFAULT_TRAFFIC_WINDOW_US,
+    ShardRun,
+    run_shard_cell,
+    shard_lookahead,
+)
+from repro.sim.shard.host import HostDomain
+from repro.sim.shard.protocol import (
+    CellStep,
+    ConservativeEngine,
+    EngineStats,
+    ShardMessage,
+    SimDomain,
+    plan_shards,
+    sequential_stepper,
+)
+from repro.sim.shard.scopes import IdScope
+from repro.sim.shard.workload import (
+    JobDrill,
+    ShardTopology,
+    TrafficDrill,
+    build_topology,
+)
+
+__all__ = [
+    "CellStep",
+    "ConservativeEngine",
+    "DEFAULT_TRAFFIC_WINDOW_US",
+    "DeviceCell",
+    "EngineStats",
+    "HostDomain",
+    "IdScope",
+    "JobDrill",
+    "SEED_STRIDE",
+    "ShardMessage",
+    "ShardRun",
+    "ShardTopology",
+    "SimDomain",
+    "TrafficDrill",
+    "build_topology",
+    "plan_shards",
+    "run_shard_cell",
+    "sequential_stepper",
+    "shard_lookahead",
+]

@@ -1,0 +1,212 @@
+"""One device shard: a single-CompStor node behind a message gateway.
+
+A :class:`DeviceCell` owns ring position ``i`` of the fleet's device ring:
+one CompStor SSD (with its FTL/ECC/NVMe consumers and a dedicated PCIe
+endpoint), a host-side :class:`~repro.host.insitu.InSituClient` acting as
+the gateway's delivery arm (retries and breakers included), and a private
+:class:`~repro.sim.Simulator` seeded from the scenario seed and the ring
+position — so a cell's entire schedule is a pure function of the scenario,
+independent of which shard group or OS process runs it.
+
+The gateway understands two request kinds from the host domain:
+
+- ``minion`` — build the :class:`~repro.proto.entities.Command`, ship it
+  through the in-situ client, and answer with a compact result record (or
+  the delivery failure, which the host's failover ladder acts on);
+- ``status`` — the administrative telemetry round trip, answered as a
+  canonical string so scorecards can digest it without schema coupling.
+
+Model difference vs the monolithic simulator, by design: each cell has a
+*dedicated* fabric uplink instead of sharing one PCIe switch with its node
+neighbours, and client-side RNG/ID streams are cell-local.  Sharded runs
+are therefore compared against the sharded ``shards=1`` oracle, never
+against the legacy single-simulator goldens (see DESIGN.md §14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Generator, Sequence
+
+from repro.config.schema import ScenarioConfig
+from repro.sim.core import Simulator
+from repro.sim.shard.protocol import ShardMessage, SimDomain
+from repro.sim.shard.scopes import IdScope
+from repro.sim.trace import Tracer
+
+__all__ = ["DeviceCell"]
+
+#: Offset between per-cell master seeds; coprime to everything in sight so
+#: consecutive cells never share named RNG streams.
+SEED_STRIDE = 65_537
+
+
+class DeviceCell(SimDomain):
+    """Ring position ``ring_index`` of the scenario's device ring."""
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        ring: Sequence[tuple[int, str]],
+        ring_index: int,
+        reply_latency: float,
+        trace: bool = True,
+    ):
+        self.config = config
+        self.ring = list(ring)
+        self.ring_index = ring_index
+        self.node_index, self.device = self.ring[ring_index]
+        sim = Simulator(seed=config.seed * SEED_STRIDE + ring_index)
+        super().__init__(f"cell{ring_index}", sim, reply_latency)
+        self.scope = IdScope()
+        self.tracer = Tracer() if trace else None
+        self.staged: list[str] = []
+        self.injector = None
+        with self.scope.active():
+            cell_config = replace(
+                config,
+                fleet=replace(
+                    config.fleet,
+                    nodes=1,
+                    devices_per_node=1,
+                    with_baseline_ssd=False,
+                    replicas=1,
+                ),
+            )
+            from repro.config.factory import build_node
+
+            self.node = build_node(
+                cell_config, sim, tracer=self.tracer, device_names=(self.device,)
+            )
+        self.ssd = self.node.compstors[0]
+        self.client = self.node.client
+
+    # -- lifecycle ------------------------------------------------------------
+    def stage(self, books: Sequence, compressed: bool = False) -> float:
+        """Write this cell's share of the corpus (primaries then replica
+        copies, fleet placement order) and drain to quiescence; returns the
+        local staging-completion time."""
+        from repro.cluster.node import StorageNode
+
+        self.staged = [book.name for book in books]
+        with self.scope.active():
+            self.sim.process(
+                StorageNode._stage_books(self.ssd.fs, list(books), compressed),
+                name=f"stage->{self.device}",
+            )
+            self.sim.run()
+        return self.sim.now
+
+    def align(self, base: float) -> None:
+        """Advance the local clock to the fleet-wide staging barrier."""
+        with self.scope.active():
+            self.sim.run(until=base)
+
+    def arm_faults(self, plan) -> None:
+        """Arm the scenario's fault events that target this device.
+
+        ``plan`` is the *full-ring* plan built at the staging barrier; the
+        cell filters it to its own ``(node_index, device)`` target so stream
+        names (``faults.n{node}.{device}``) match the fleet-wide convention.
+        """
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+
+        mine = FaultPlan(seed=plan.seed)
+        for event in plan.events():
+            if event.target == (self.node_index, self.device):
+                mine.add(event)
+        if not mine.events():
+            return
+        with self.scope.active():
+            self.injector = FaultInjector.for_node(
+                self.node, mine, node_index=self.node_index, tracer=self.tracer
+            )
+            self.injector.start()
+
+    def run_segment(self, horizon: float) -> int:
+        with self.scope.active():
+            return super().run_segment(horizon)
+
+    # -- gateway --------------------------------------------------------------
+    def _on_message(self, message: ShardMessage) -> None:
+        handler = {"minion": self._serve_minion, "status": self._serve_status}[
+            message.kind
+        ]
+        self.sim.process(
+            handler(message.payload), name=f"gateway.{message.kind}"
+        )
+
+    def _serve_minion(self, payload: dict) -> Generator:
+        import zlib
+
+        from repro.host.insitu import InSituError
+        from repro.proto.entities import Command
+
+        command = Command(
+            command_line=payload.get("command_line", ""),
+            script=payload.get("script", ""),
+        )
+        try:
+            minion = yield from self.client.send_minion(self.device, command)
+            response = minion.response
+            result = {
+                "status": response.status.value,
+                "exit_code": response.exit_code,
+                "stdout_bytes": len(response.stdout),
+                "stdout_crc": zlib.crc32(response.stdout),
+                "execution_seconds": response.execution_seconds,
+                "device": f"n{self.node_index}.{self.device}",
+            }
+        except InSituError as exc:
+            result = {"error": type(exc).__name__, "detail": str(exc)}
+        self.send(
+            "host",
+            "response",
+            {"request_id": payload["request_id"], "result": result},
+        )
+
+    def _serve_status(self, payload: dict) -> Generator:
+        from repro.host.insitu import InSituError
+        from repro.testing import canonical_value
+
+        try:
+            reply = yield from self.client.status(self.device)
+            result = {"snapshot": canonical_value(reply)}
+        except InSituError as exc:
+            result = {"error": type(exc).__name__, "detail": str(exc)}
+        self.send(
+            "host",
+            "response",
+            {"request_id": payload["request_id"], "result": result},
+        )
+
+    # -- reporting ------------------------------------------------------------
+    def fingerprint(self) -> dict:
+        """The cell's contribution to the run's equivalence digest."""
+        from repro.testing import schedule_digest
+
+        extras = {
+            "cell": self.name,
+            "target": f"n{self.node_index}.{self.device}",
+            "staged": list(self.staged),
+            "events": self.sim.events_processed,
+            "minions_served": self.ssd.agent.minions_served,
+            "finished_at": self.sim.now,
+            "sent": self.sent,
+            "received": self.received,
+        }
+        if self.injector is not None:
+            extras["recoveries"] = self.injector.recovery_counts()
+        digest = (
+            schedule_digest(self.tracer, extras=extras)
+            if self.tracer is not None
+            else None
+        )
+        return {
+            "cell": self.name,
+            "target": f"n{self.node_index}.{self.device}",
+            "events": self.sim.events_processed,
+            "minions_served": self.ssd.agent.minions_served,
+            "schedule_digest": digest,
+        }

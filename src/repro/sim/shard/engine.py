@@ -1,0 +1,454 @@
+"""Sharded scenario runs: partition, synchronize, execute, fingerprint.
+
+:class:`ShardRun` assembles the whole machine — topology, device cells,
+host domain, workload driver, conservative engine — in three phases so the
+benchmark harness can time exactly the synchronized round loop:
+
+- :meth:`ShardRun.prepare` builds cells, stages the corpus, aligns every
+  clock to the staging barrier, arms faults, and primes the engine;
+- :meth:`ShardRun.execute` runs the engine to quiescence (the timed
+  region);
+- :meth:`ShardRun.finish` collects per-cell fingerprints and the workload
+  scorecard into a digestable payload, and tears down any workers.
+
+Two backends share the engine unchanged: ``sequential`` loops every cell
+in-process (the differential oracle at ``shards=1``, and the fast path on
+small machines — per-cell event queues stay tiny, so the per-event cost
+does not grow with fleet size the way one monolithic heap does);
+``process`` fans shard groups out to spawn workers over pipes, reusing the
+``repro.parallel`` spawn-pool conventions.  Because every horizon the
+engine computes is a function of global domain state, both backends at any
+``--shards`` value produce byte-identical schedules — the property
+``tests/test_shard_equivalence.py`` pins.
+
+``run_shard_cell`` wraps it all as a module-path-addressable, JSON-in /
+JSON-out job for the matrix/cache/CLI layers, like the drill cells in
+:mod:`repro.service.drill`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.config.schema import SHARD_BACKENDS, ScenarioConfig, ShardingConfig
+from repro.sim.core import SimulationError, Simulator
+from repro.sim.shard.cell import DeviceCell
+from repro.sim.shard.host import HostDomain
+from repro.sim.shard.protocol import (
+    CellStep,
+    ConservativeEngine,
+    EngineStats,
+    ShardMessage,
+    plan_shards,
+    sequential_stepper,
+)
+from repro.sim.shard.workload import JobDrill, TrafficDrill, build_topology
+
+__all__ = ["ShardRun", "run_shard_cell", "shard_lookahead"]
+
+#: Default modeled host dispatch window, in microseconds of simulated
+#: time, applied when the scenario does not pin one.  Host-issued work
+#: (minion submissions) carries this extra latency on top of the link hop;
+#: in exchange sync-round counts stay proportional to dispatch bursts
+#: rather than simulated time over a raw half-microsecond link latency
+#: (DESIGN.md §14).  Traffic runs default wider: arrival streams span much
+#: more simulated time than one batch drill.
+DEFAULT_WINDOW_US = 20.0
+DEFAULT_TRAFFIC_WINDOW_US = 50.0
+
+
+def shard_lookahead(window_us: float = 0.0) -> float:
+    """The host->cell lookahead: one ``pcie.link`` hop plus the window.
+
+    Every cross-boundary interaction traverses at least one fabric link,
+    whose propagation+serdes latency (``LinkParams.latency``) is a lower
+    bound on delivery time — the classic conservative-sync lookahead.
+    With ``window_us == 0`` this is also the cell->host lookahead.
+    """
+    from repro.pcie.link import LinkParams
+
+    return LinkParams().latency + window_us * 1e-6
+
+
+# ---------------------------------------------------------------------------
+# process backend
+# ---------------------------------------------------------------------------
+
+
+def _shard_worker(
+    conn, scenario: dict, indices: list[int], window_us: float, trace: bool
+) -> None:
+    """One spawn worker owning a contiguous group of device cells.
+
+    Workers regenerate the corpus and topology from the scenario dict
+    (deterministically — the dict is the entire input) instead of shipping
+    book bytes over the pipe.
+    """
+    from repro.config.codec import scenario_from_dict
+    from repro.config.factory import build_corpus, build_fault_plan
+    from repro.sim.shard.workload import build_topology as _build_topology
+    from repro.testing import reset_global_ids
+
+    config = scenario_from_dict(scenario)
+    reset_global_ids()
+    books = build_corpus(config)
+    topology = _build_topology(config, books)
+    reply = shard_lookahead(0.0) + shard_lookahead(window_us)  # to_host + to_cell
+    cells = [
+        DeviceCell(config, topology.ring, i, reply, trace=trace) for i in indices
+    ]
+    try:
+        staged = {cell.name: cell.stage(topology.staged[cell.ring_index]) for cell in cells}
+        conn.send(("staged", staged))
+        while True:
+            op, *args = conn.recv()
+            if op == "arm":
+                (base,) = args
+                for cell in cells:
+                    cell.align(base)
+                plan = build_fault_plan(config, topology.ring, base_time=base)
+                if plan is not None:
+                    for cell in cells:
+                        cell.arm_faults(plan)
+                conn.send(("ready", {cell.name: cell.next_action() for cell in cells}))
+            elif op == "round":
+                bounds, deliveries = args
+                steps: dict[str, CellStep] = {}
+                for cell in cells:
+                    inbox = deliveries.get(cell.name)
+                    if inbox is None and cell.can_skip(bounds[cell.name]):
+                        steps[cell.name] = CellStep(
+                            next_action=cell.next_action(), outbox=[], events=0
+                        )
+                        continue
+                    for message, at in inbox or ():
+                        cell.deliver(message, at)
+                    events = cell.run_segment(bounds[cell.name])
+                    steps[cell.name] = CellStep(
+                        next_action=cell.next_action(),
+                        outbox=cell.drain_outbox(),
+                        events=events,
+                    )
+                conn.send(("stepped", steps))
+            elif op == "finish":
+                conn.send(("done", [cell.fingerprint() for cell in cells]))
+                return
+            else:  # pragma: no cover - protocol guard
+                raise ValueError(f"unknown op {op!r}")
+    except Exception as exc:  # pragma: no cover - crash relay
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        raise
+    finally:
+        conn.close()
+
+
+class _WorkerPool:
+    """Spawn workers, one per shard group, speaking the pipe protocol."""
+
+    def __init__(
+        self, scenario: dict, groups: list[range], window_us: float, trace: bool
+    ):
+        import multiprocessing
+
+        from repro.parallel.runner import (
+            _ensure_importable_children,
+            _restore_pythonpath,
+        )
+
+        self._groups = groups
+        self._cells_of: list[list[str]] = [
+            [f"cell{i}" for i in group] for group in groups
+        ]
+        context = multiprocessing.get_context("spawn")
+        self._conns = []
+        self._procs = []
+        _src, previous = _ensure_importable_children()
+        try:
+            for group in groups:
+                parent, child = context.Pipe()
+                proc = context.Process(
+                    target=_shard_worker,
+                    args=(child, scenario, list(group), window_us, trace),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+        finally:
+            _restore_pythonpath(previous)
+
+    def _recv(self, conn, expect: str):
+        tag, value = conn.recv()
+        if tag == "error":
+            self.close()
+            raise SimulationError(f"shard worker failed: {value}")
+        if tag != expect:  # pragma: no cover - protocol guard
+            raise SimulationError(f"expected {expect!r} from worker, got {tag!r}")
+        return value
+
+    def collect_staged(self) -> dict[str, float]:
+        staged: dict[str, float] = {}
+        for conn in self._conns:
+            staged.update(self._recv(conn, "staged"))
+        return staged
+
+    def arm(self, base: float) -> dict[str, float]:
+        for conn in self._conns:
+            conn.send(("arm", base))
+        ready: dict[str, float] = {}
+        for conn in self._conns:
+            ready.update(self._recv(conn, "ready"))
+        return ready
+
+    def stepper(self):
+        def step(
+            bounds: dict[str, float],
+            deliveries: dict[str, list[tuple[ShardMessage, float]]],
+        ) -> dict[str, CellStep]:
+            for conn, cells in zip(self._conns, self._cells_of):
+                subset = {name: deliveries[name] for name in cells if name in deliveries}
+                group_bounds = {name: bounds[name] for name in cells}
+                conn.send(("round", group_bounds, subset))
+            steps: dict[str, CellStep] = {}
+            for conn in self._conns:
+                steps.update(self._recv(conn, "stepped"))
+            return steps
+
+        return step
+
+    def finish(self) -> list[dict]:
+        for conn in self._conns:
+            conn.send(("finish",))
+        fingerprints: list[dict] = []
+        for conn in self._conns:
+            fingerprints.extend(self._recv(conn, "done"))
+        self.close()
+        return fingerprints
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+        for proc in self._procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - teardown best effort
+                proc.terminate()
+        self._conns = []
+        self._procs = []
+
+
+# ---------------------------------------------------------------------------
+# the run
+# ---------------------------------------------------------------------------
+
+
+class ShardRun:
+    """One sharded scenario execution, split for benchmarking.
+
+    Call :meth:`prepare`, :meth:`execute`, :meth:`finish` in order; or use
+    :func:`run_shard_cell` for the whole sequence.  Keyword overrides win
+    over the scenario's ``sharding`` section, so one config can be swept
+    across shard counts and backends without re-digesting.
+    """
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        *,
+        shards: int | None = None,
+        backend: str | None = None,
+        workload: str = "auto",
+        apps: tuple[str, ...] = ("grep",),
+        window_us: float | None = None,
+        trace: bool = True,
+    ):
+        sharding = config.sharding or ShardingConfig()
+        self.config = config
+        self.shards = sharding.shards if shards is None else shards
+        self.backend = sharding.backend if backend is None else backend
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.backend not in SHARD_BACKENDS:
+            raise ValueError(
+                f"unknown shard backend {self.backend!r}; use {SHARD_BACKENDS}"
+            )
+        if workload == "auto":
+            workload = "traffic" if config.traffic is not None else "jobs"
+        if workload not in ("jobs", "traffic"):
+            raise ValueError(f"unknown workload {workload!r}; use jobs|traffic")
+        self.workload_kind = workload
+        window = sharding.window_us if window_us is None else window_us
+        if window == 0.0:
+            window = (
+                DEFAULT_TRAFFIC_WINDOW_US if workload == "traffic" else DEFAULT_WINDOW_US
+            )
+        self.window_us = window
+        self.to_host = shard_lookahead(0.0)
+        self.to_cell = shard_lookahead(window)
+        self.reply_latency = self.to_host + self.to_cell
+        self.apps = tuple(apps)
+        self.trace = trace
+        self.base = 0.0
+        self.stats: EngineStats | None = None
+        self._cells: list[DeviceCell] = []
+        self._pool: _WorkerPool | None = None
+
+    # -- phase 1 ----------------------------------------------------------------
+    def prepare(self) -> None:
+        from repro.config.codec import to_dict
+        from repro.config.factory import build_corpus, build_fault_plan
+        from repro.testing import reset_global_ids
+
+        config = self.config
+        reset_global_ids()
+        self.books = build_corpus(config)
+        self.topology = build_topology(config, self.books)
+        ring_size = len(self.topology.ring)
+        self.groups = plan_shards(ring_size, self.shards)
+        cell_names = [f"cell{i}" for i in range(ring_size)]
+
+        if self.backend == "process":
+            scenario = to_dict(config)
+            self._pool = _WorkerPool(
+                scenario, self.groups, self.window_us, self.trace
+            )
+            staged = self._pool.collect_staged()
+            self.base = max(staged.values())
+            primed = self._pool.arm(self.base)
+            stepper = self._pool.stepper()
+        else:
+            self._cells = [
+                DeviceCell(
+                    config, self.topology.ring, i, self.reply_latency, trace=self.trace
+                )
+                for i in range(ring_size)
+            ]
+            staged = {
+                cell.name: cell.stage(self.topology.staged[cell.ring_index])
+                for cell in self._cells
+            }
+            self.base = max(staged.values())
+            plan = build_fault_plan(config, self.topology.ring, base_time=self.base)
+            for cell in self._cells:
+                cell.align(self.base)
+                if plan is not None:
+                    cell.arm_faults(plan)
+            primed = {cell.name: cell.next_action() for cell in self._cells}
+            stepper = sequential_stepper(self._cells)
+
+        host_sim = Simulator(seed=config.seed)
+        self.host = HostDomain(host_sim, self.reply_latency)
+        if self.workload_kind == "traffic":
+            self.workload = TrafficDrill(
+                self.host, self.topology, config, self.books, self.base
+            )
+        else:
+            self.workload = JobDrill(self.host, self.topology, self.apps, self.base)
+        self.workload.start()
+        self.engine = ConservativeEngine(
+            self.host, cell_names, stepper, self.to_cell, self.to_host
+        )
+        self.engine.prime(primed)
+
+    # -- phase 2 (the timed region) ---------------------------------------------
+    def execute(self) -> EngineStats:
+        try:
+            self.stats = self.engine.run()
+        except BaseException:
+            self.close()
+            raise
+        return self.stats
+
+    # -- phase 3 ----------------------------------------------------------------
+    def finish(self) -> dict:
+        from repro.parallel.jobs import payload_digest
+
+        if self.stats is None:
+            raise SimulationError("execute() must run before finish()")
+        if self._pool is not None:
+            fingerprints = self._pool.finish()
+            self._pool = None
+        else:
+            fingerprints = [cell.fingerprint() for cell in self._cells]
+        fingerprints.sort(key=lambda fp: int(fp["cell"][4:]))
+        stats = self.stats
+        cell_events = sum(fp["events"] for fp in fingerprints)
+        result = {
+            "scenario": self.config.name,
+            "workload": self.workload_kind,
+            "cells": len(fingerprints),
+            "lookahead_us": {
+                "to_cell": round(self.to_cell * 1e6, 9),
+                "to_host": round(self.to_host * 1e6, 9),
+            },
+            "window_us": self.window_us,
+            "base_time_us": round(self.base * 1e6, 9),
+            "rounds": stats.rounds,
+            "events": {
+                "host": self.host.sim.events_processed,
+                "cells": cell_events,
+                "total": self.host.sim.events_processed + cell_events,
+            },
+            "messages": {
+                "sent": stats.sent,
+                "delivered": stats.delivered,
+                "in_flight": stats.in_flight,
+            },
+            "scorecard": self.workload.scorecard(),
+            "cell_fingerprints": fingerprints,
+        }
+        result["digest"] = payload_digest(result)
+        return {
+            "result": result,
+            "run": {
+                "shards": self.shards,
+                "backend": self.backend,
+                "groups": [len(group) for group in self.groups],
+            },
+        }
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+
+def run_shard_cell(
+    scenario: Mapping[str, Any] | None = None,
+    shards: int | None = None,
+    backend: str | None = None,
+    workload: str = "auto",
+    apps: tuple[str, ...] = ("grep",),
+    window_us: float | None = None,
+    trace: bool = True,
+) -> dict:
+    """Run one sharded scenario end to end; return the digestable payload.
+
+    Module-path addressable and hermetic (the scenario dict plus keyword
+    overrides are the entire input), so the parallel runner can cache it
+    and ``--workers N`` replays are byte-identical.
+    """
+    from repro.config.codec import scenario_from_dict
+    from repro.config.presets import preset
+
+    config = (
+        scenario_from_dict(scenario) if scenario is not None else preset("smoke")
+    )
+    run = ShardRun(
+        config,
+        shards=shards,
+        backend=backend,
+        workload=workload,
+        apps=tuple(apps),
+        window_us=window_us,
+        trace=trace,
+    )
+    run.prepare()
+    try:
+        run.execute()
+        return run.finish()
+    finally:
+        run.close()

@@ -1,0 +1,49 @@
+"""The host domain: the workload side of the sharded PCIe boundary.
+
+:class:`HostDomain` runs the coordinator/frontend logic on its own
+:class:`~repro.sim.Simulator` and talks to device cells exclusively through
+request/response envelopes.  :meth:`call` is the yield-from primitive model
+code builds on: allocate a request id, send the envelope, park on an event
+the response delivery will succeed.  Because a parked request holds no
+scheduled event, a host that is *only* waiting on cells reads as idle to
+the engine — which is precisely what lets cells free-run through batch
+phases.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator
+
+from repro.sim.core import Event, Simulator
+from repro.sim.shard.protocol import ShardMessage, SimDomain
+
+__all__ = ["HostDomain"]
+
+
+class HostDomain(SimDomain):
+    """Request/response client over the shard boundary."""
+
+    def __init__(self, sim: Simulator, reply_latency: float):
+        super().__init__("host", sim, reply_latency)
+        self._request_ids = itertools.count(1)
+        self._waiting: dict[int, Event] = {}
+
+    def call(self, cell: str, kind: str, payload: dict) -> Generator:
+        """Ship one request to ``cell`` and wait for its result payload."""
+        event = self.sim.event(name=f"{kind}->{cell}")
+        request_id = next(self._request_ids)
+        self._waiting[request_id] = event
+        self.send(cell, kind, dict(payload, request_id=request_id))
+        result = yield event
+        return result
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._waiting)
+
+    def _on_message(self, message: ShardMessage) -> None:
+        if message.kind != "response":  # pragma: no cover - protocol guard
+            raise ValueError(f"host cannot handle {message.kind!r} messages")
+        request_id = message.payload["request_id"]
+        self._waiting.pop(request_id).succeed(message.payload["result"])

@@ -1,0 +1,477 @@
+"""Conservative time synchronization between partitioned event loops.
+
+One scenario is split into *domains*: a host domain (the client/workload
+side of the PCIe boundary) and one cell per device (the SSD plus its FTL/
+ECC/NVMe consumers).  Domains exchange :class:`ShardMessage` envelopes —
+NVMe submissions, minion results, telemetry — and never touch each other's
+state directly, so each can run its own :class:`~repro.sim.Simulator`.
+
+Synchronization is **conservative** (Chandy-Misra-Bryant style): a domain
+only processes events it can prove no future cross-boundary message will
+invalidate.  The proof rests on *lookahead*, which is asymmetric here:
+
+- cell -> host (``to_host``): the minimum latency of one ``pcie.link``
+  hop — completions and minion results cross at least one fabric link;
+- host -> cell (``to_cell``): the link hop plus a modeled host dispatch
+  window (interrupt service, submission-path work).  The window is a
+  fidelity knob (``sharding.window_us``): it adds bounded, deterministic
+  latency to host-issued work and in exchange makes the number of sync
+  rounds proportional to *dispatch bursts*, not simulated time over a
+  raw half-microsecond link latency.
+
+A cell's safe horizon must consider not just the host's own next action
+but the earliest the host could *react to any other cell's send*: cell
+``j`` can act at ``na_j``, the host hears of it at ``na_j + to_host``, and
+its response reaches cell ``i`` at ``na_j + to_host + to_cell``.  The
+engine therefore grants per-cell bounds ``min(host_na, min_{j != i}(na_j))
++ to_host) + to_cell`` — a cell's *own* next action is excluded, because
+anything the host learns from cell ``i`` itself is covered by the cutoff
+below.  Two refinements keep rounds proportional to traffic:
+
+- **idle free-run** — when the host and every *other* cell are provably
+  inert, cell ``i`` may run arbitrarily far ahead (``bound = inf``);
+  likewise the host when all cells are inert.  This collapses
+  single-domain tail phases into one window.
+- **first-send cutoff** — a domain's *own* send opens a reply channel: the
+  earliest a peer's reaction can land back is ``send + to_host + to_cell``
+  (the round trip).  :meth:`SimDomain.run_segment` therefore stops itself
+  there, whatever horizon it was granted, and the engine synchronizes
+  before continuing.
+
+The engine is deliberately topology-star (host <-> cells; cells never talk
+to each other — device-to-device traffic crosses the host in this model,
+as it does on a real PCIe tree).  All horizon decisions are functions of
+*global* domain state (minima over every cell), never of how cells are
+packed into OS processes — which is why schedules are byte-identical at
+any shard count and on any backend, the property the differential suite
+pins down.
+
+This module is model-agnostic: it knows Simulators and messages, not SSDs.
+The real device cells live in :mod:`repro.sim.shard.cell`; the Hypothesis
+property suite drives the same engine with toy domains.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from heapq import heappop as _heappop
+from typing import Any, Callable, Protocol
+
+from repro.sim.core import SimulationError, Simulator, Timeout
+
+__all__ = [
+    "CellStep",
+    "ConservativeEngine",
+    "EngineStats",
+    "ShardMessage",
+    "SimDomain",
+    "plan_shards",
+    "sequential_stepper",
+]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True, slots=True)
+class ShardMessage:
+    """One cross-boundary event envelope.
+
+    ``seq`` is per-sender monotonic; together with ``send_time`` and the
+    sender name it gives every message a total order, so merged inboxes are
+    canonical regardless of which process produced them.
+    """
+
+    src: str
+    dst: str
+    send_time: float
+    seq: int
+    kind: str
+    payload: Any
+
+
+def plan_shards(n_cells: int, shards: int) -> list[range]:
+    """Pack ``n_cells`` ring positions into contiguous, balanced groups.
+
+    Contiguity keeps a node's devices (consecutive ring positions, hence
+    consecutive replica chains) in as few groups as possible; balance keeps
+    the per-round critical path even.  More shards than cells clamps to one
+    cell per group — the grouping is an execution detail and never changes
+    results, so clamping is safe.
+    """
+    if n_cells < 1:
+        raise ValueError("n_cells must be >= 1")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    groups = min(shards, n_cells)
+    base, extra = divmod(n_cells, groups)
+    out: list[range] = []
+    start = 0
+    for g in range(groups):
+        size = base + (1 if g < extra else 0)
+        out.append(range(start, start + size))
+        start += size
+    return out
+
+
+class SimDomain:
+    """One partition: a :class:`Simulator` plus an outbox and an inbox hook.
+
+    Subclasses implement :meth:`_on_message` (what a delivered envelope
+    does) and call :meth:`send` from model code.  Everything else — windowed
+    execution with the first-send cutoff, delivery scheduling, conservation
+    counters — is shared between real device cells and test toys.
+    """
+
+    def __init__(self, name: str, sim: Simulator, reply_latency: float):
+        if reply_latency <= 0:
+            raise ValueError("reply_latency must be positive")
+        self.name = name
+        self.sim = sim
+        #: Minimum round trip: the earliest a peer's *reaction* to this
+        #: domain's own send can land back (``to_host + to_cell``).
+        self.reply_latency = reply_latency
+        self.outbox: list[ShardMessage] = []
+        self._seq = itertools.count()
+        self.sent = 0
+        self.received = 0
+        #: (message, deliver_time, receiver clock at injection) — the
+        #: evidence trail the property suite checks lookahead safety on.
+        self.delivery_log: list[tuple[ShardMessage, float, float]] = []
+
+    # -- engine-facing surface ------------------------------------------------
+    def next_action(self) -> float:
+        """Earliest time this domain could possibly act (``inf`` if it
+        cannot act until something is delivered).
+
+        Daemon events (housekeeping timers) never initiate cross-boundary
+        traffic, but using ``peek()`` — which may surface one — only makes
+        the bound *smaller*, i.e. more conservative, never unsafe.
+        """
+        return self.sim.peek() if self.sim.live_events > 0 else _INF
+
+    def idle(self) -> bool:
+        return self.sim.live_events == 0
+
+    def deliver(self, message: ShardMessage, at: float) -> None:
+        """Inject a message: its effect fires at ``at`` on this domain's sim.
+
+        The horizon algebra guarantees ``at`` is ahead of the local clock
+        whenever this domain still has live work.  The one exception is a
+        receiver that drained idle and coasted ahead of the sender (the
+        teardown corner): the doorbell rings an already-parked consumer,
+        which notices it "now" — deterministically, because the round
+        structure is grouping-independent.  A past delivery into a *busy*
+        domain would be a genuine causality bug, so that still raises.
+        """
+        now = self.sim.now
+        if at < now:
+            if self.sim.live_events > 0:
+                raise SimulationError(
+                    f"{self.name}: delivery at {at} behind busy clock {now}"
+                )
+            at = now
+        self.received += 1
+        self.delivery_log.append((message, at, now))
+        timeout = Timeout(self.sim, at - now, message)
+        timeout.callbacks.append(lambda _ev, m=message: self._on_message(m))
+
+    def can_skip(self, horizon: float) -> bool:
+        """True when :meth:`run_segment` would provably process nothing.
+
+        A pure fast path — behavior with the segment skipped is identical,
+        the caller just saves the call (and, for device cells, the ID-scope
+        swap).  Only valid when nothing was delivered this round.
+        """
+        queue = self.sim._queue
+        if horizon == _INF:
+            return self.sim._live == 0
+        return not queue or queue[0][0] >= horizon
+
+    def drain_outbox(self) -> list[ShardMessage]:
+        out = self.outbox
+        self.outbox = []
+        return out
+
+    def run_segment(self, horizon: float) -> int:
+        """Run events strictly before ``horizon``, stopping early at
+        ``first_send + reply_latency``; returns the events processed.
+
+        ``horizon == inf`` is free-run: the peer granting it is provably
+        inert, so only the domain's own sends (which open a reply channel)
+        can bound the segment; the drain then stops when live work is gone,
+        leaving daemon timers pending.  Until the first send the cutoff can
+        tighten mid-run, so events step one at a time; after it the bound
+        is frozen and the batched kernel drain (``Simulator.run_window``)
+        takes over.
+        """
+        sim = self.sim
+        queue = sim._queue
+        outbox = self.outbox
+        free = horizon == _INF
+        count = 0
+        while not outbox:
+            if not queue or (free and sim._live == 0):
+                return count
+            when, _prio, _seq, daemon, event = queue[0]
+            if when >= horizon:
+                return count
+            _heappop(queue)  # inline step(): pop, advance, fire
+            if not daemon:
+                sim._live -= 1
+            sim._now = when
+            sim.events_processed += 1
+            event._run_callbacks()
+            count += 1
+        cutoff = outbox[0].send_time + self.reply_latency
+        bound = cutoff if cutoff < horizon else horizon
+        return count + sim.run_window(bound, stop_when_idle=free)
+
+    # -- model-facing surface -------------------------------------------------
+    def send(self, dst: str, kind: str, payload: Any) -> ShardMessage:
+        """Queue an envelope for the engine to route after this segment."""
+        message = ShardMessage(
+            src=self.name,
+            dst=dst,
+            send_time=self.sim.now,
+            seq=next(self._seq),
+            kind=kind,
+            payload=payload,
+        )
+        self.outbox.append(message)
+        self.sent += 1
+        return message
+
+    def _on_message(self, message: ShardMessage) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class CellStep:
+    """What one cell reports back from a synchronization round."""
+
+    next_action: float
+    outbox: list[ShardMessage]
+    events: int
+
+
+#: Runs every cell for one round: ``stepper(bounds, deliveries)`` where
+#: ``bounds`` maps cell name -> safe horizon and ``deliveries`` maps cell
+#: name -> [(message, deliver_time), ...]; returns ``{cell_name: CellStep}``
+#: for *all* cells, in ring order.  The sequential backend loops
+#: in-process; the process backend fans groups out to spawn workers.  The
+#: engine's horizon algebra never sees the difference.
+CellStepper = Callable[
+    [dict[str, float], dict[str, list[tuple[ShardMessage, float]]]],
+    dict[str, "CellStep"],
+]
+
+
+class HostLike(Protocol):  # pragma: no cover - typing only
+    name: str
+
+    def next_action(self) -> float: ...
+    def idle(self) -> bool: ...
+    def deliver(self, message: ShardMessage, at: float) -> None: ...
+    def drain_outbox(self) -> list[ShardMessage]: ...
+    def run_segment(self, horizon: float) -> int: ...
+
+    @property
+    def sim(self) -> Simulator: ...
+
+
+@dataclass
+class EngineStats:
+    """Conservation + progress accounting for one engine run."""
+
+    rounds: int = 0
+    host_events: int = 0
+    cell_events: int = 0
+    sent: int = 0
+    delivered: int = 0
+    gvt: float = 0.0
+    #: per-round (gvt, cell_bound, host_bound) — the window log the
+    #: monotonicity property checks.
+    windows: list[tuple[float, float, float]] = field(default_factory=list)
+
+    @property
+    def in_flight(self) -> int:
+        return self.sent - self.delivered
+
+
+def sequential_stepper(cells: list[SimDomain]) -> CellStepper:
+    """The in-process oracle backend: run every cell, in ring order."""
+
+    def step(
+        bounds: dict[str, float],
+        deliveries: dict[str, list[tuple[ShardMessage, float]]],
+    ) -> dict[str, CellStep]:
+        out: dict[str, CellStep] = {}
+        for cell in cells:
+            inbox = deliveries.get(cell.name)
+            if inbox is None and cell.can_skip(bounds[cell.name]):
+                out[cell.name] = CellStep(
+                    next_action=cell.next_action(), outbox=[], events=0
+                )
+                continue
+            for message, at in inbox or ():
+                cell.deliver(message, at)
+            events = cell.run_segment(bounds[cell.name])
+            out[cell.name] = CellStep(
+                next_action=cell.next_action(),
+                outbox=cell.drain_outbox(),
+                events=events,
+            )
+        return out
+
+    return step
+
+
+class ConservativeEngine:
+    """The round loop: alternate cell and host segments under safe horizons.
+
+    Per round:
+
+    1. deliver the host's previous sends into their cells at
+       ``send + to_cell``;
+    2. run every cell to its own safe bound —
+       ``min(host_na, min_{j != i}(na_j + to_host)) + to_cell``, where
+       ``na_j`` folds in any delivery times from step 1 (a delivered
+       message can wake an idle cell early) — each cell also stopping at
+       its own first-send cutoff;
+    3. route the cells' merged, canonically-ordered sends into the host at
+       ``send + to_host``;
+    4. run the host to ``min(cell next actions) + to_host`` (free-run when
+       every cell is inert), again with the first-send cutoff;
+    5. log the window, check progress, repeat until no domain can act and
+       nothing is in flight.
+
+    Every horizon is a function of global domain state only — never of the
+    shard grouping — so the round sequence, and therefore every schedule,
+    is identical at any ``--shards`` value on any backend.
+    """
+
+    def __init__(
+        self,
+        host: "HostLike",
+        cell_names: list[str],
+        stepper: CellStepper,
+        to_cell: float,
+        to_host: float,
+        max_rounds: int = 50_000_000,
+    ):
+        if to_cell <= 0 or to_host <= 0:
+            raise ValueError("lookahead must be positive in both directions")
+        self.host = host
+        self.cell_names = list(cell_names)
+        self.stepper = stepper
+        self.to_cell = to_cell
+        self.to_host = to_host
+        self.max_rounds = max_rounds
+        self.stats = EngineStats(gvt=0.0)
+        self._cell_next: dict[str, float] = {name: _INF for name in cell_names}
+        self._cell_rank = {name: i for i, name in enumerate(self.cell_names)}
+
+    def prime(self, cell_next: dict[str, float]) -> None:
+        """Seed the per-cell next-action view (post staging/arming)."""
+        self._cell_next.update(cell_next)
+
+    def run(self) -> EngineStats:
+        host = self.host
+        stats = self.stats
+        pending: list[ShardMessage] = []  # host -> cells, undelivered
+        while True:
+            if stats.rounds >= self.max_rounds:
+                raise SimulationError(
+                    f"shard engine exceeded {self.max_rounds} rounds"
+                )
+            host_na = host.next_action()
+            cells_inert = all(t == _INF for t in self._cell_next.values())
+            if host_na == _INF and cells_inert and not pending:
+                break
+
+            # -- cell phase ------------------------------------------------
+            deliveries: dict[str, list[tuple[ShardMessage, float]]] = {}
+            for message in pending:
+                at = message.send_time + self.to_cell
+                deliveries.setdefault(message.dst, []).append((message, at))
+                stats.delivered += 1
+            pending = []
+            # Effective next actions: a delivery can wake an idle cell.
+            na_eff = dict(self._cell_next)
+            for name, pairs in deliveries.items():
+                earliest = min(at for _message, at in pairs)
+                if earliest < na_eff[name]:
+                    na_eff[name] = earliest
+            # Two smallest effective next actions -> min-excluding-self.
+            low_name, low, second = None, _INF, _INF
+            for name, value in na_eff.items():
+                if value < low:
+                    low_name, low, second = name, value, low
+                elif value < second:
+                    second = value
+            bounds: dict[str, float] = {}
+            for name in self.cell_names:
+                others = second if name == low_name else low
+                wake = host_na if host_na < others + self.to_host else others + self.to_host
+                bounds[name] = wake + self.to_cell  # inf stays inf
+            steps = self.stepper(bounds, deliveries)
+            inbound: list[ShardMessage] = []
+            for name in self.cell_names:
+                step = steps[name]
+                self._cell_next[name] = step.next_action
+                stats.cell_events += step.events
+                stats.sent += len(step.outbox)
+                inbound.extend(step.outbox)
+            inbound.sort(
+                key=lambda m: (m.send_time, self._cell_rank[m.src], m.seq)
+            )
+            for message in inbound:
+                host.deliver(message, message.send_time + self.to_host)
+                stats.delivered += 1
+
+            # -- host phase ------------------------------------------------
+            cell_min = min(self._cell_next.values(), default=_INF)
+            host_bound = _INF if cell_min == _INF else cell_min + self.to_host
+            host_events = host.run_segment(host_bound)
+            stats.host_events += host_events
+            pending = host.drain_outbox()
+            stats.sent += len(pending)
+
+            # -- window log + progress guard -------------------------------
+            gvt = min(
+                host.next_action(),
+                min(self._cell_next.values(), default=_INF),
+                min(
+                    (m.send_time + self.to_cell for m in pending),
+                    default=_INF,
+                ),
+            )
+            if gvt != _INF:
+                if gvt < stats.gvt:
+                    raise SimulationError(
+                        f"GVT moved backwards: {stats.gvt} -> {gvt}"
+                    )
+                stats.gvt = gvt
+            stats.windows.append(
+                (stats.gvt, min(bounds.values(), default=_INF), host_bound)
+            )
+            progressed = (
+                host_events
+                or any(steps[name].events for name in self.cell_names)
+                or inbound
+                or pending
+                or deliveries
+            )
+            stats.rounds += 1
+            if not progressed:
+                raise SimulationError(
+                    "shard engine deadlock: a full round made no progress "
+                    f"(round {stats.rounds}, gvt {stats.gvt})"
+                )
+        if stats.in_flight != 0:
+            raise SimulationError(
+                f"message conservation violated: sent={stats.sent} "
+                f"delivered={stats.delivered}"
+            )
+        return stats

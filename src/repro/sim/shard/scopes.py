@@ -1,0 +1,80 @@
+"""Per-cell ID-allocation scopes.
+
+Minion, query, OS-process, and NVMe-command IDs come from module-level
+allocators (``repro.proto.entities``, ``repro.isos.process``,
+``repro.nvme.commands``) that each dataclass resolves *at call time*
+(``default_factory=lambda: next(_counter)``).  In one big simulation that
+single stream is fine; with per-device cells it would make IDs depend on
+how cells interleave — i.e. on the shard grouping and backend, exactly
+what the equivalence suite forbids.
+
+An :class:`IdScope` gives every cell its own counter set and swaps it into
+the provider modules around each execution segment, so every ID a cell
+allocates is a pure function of that cell's own history.  Counters are
+plain objects (not ``itertools.count``) so a scope survives pickling if a
+cell ever migrates, and so tests can inspect positions.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["IdScope"]
+
+
+class _Counter:
+    """An ``itertools.count`` clone with an inspectable position."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, start: int):
+        self.value = start
+
+    def __iter__(self) -> "_Counter":
+        return self
+
+    def __next__(self) -> int:
+        value = self.value
+        self.value = value + 1
+        return value
+
+
+class IdScope:
+    """One cell's private minion/query/pid/cid allocation state."""
+
+    __slots__ = ("minions", "queries", "pids", "cids")
+
+    def __init__(self) -> None:
+        # Starts mirror the fresh-process values reset_global_ids() restores.
+        self.minions = _Counter(1)
+        self.queries = _Counter(1)
+        self.pids = _Counter(100)
+        self.cids = _Counter(1)
+
+    @contextmanager
+    def active(self) -> Iterator[None]:
+        """Route the global allocators through this scope for the duration."""
+        import repro.isos.process as isos_process
+        import repro.nvme.commands as nvme_commands
+        import repro.proto.entities as proto_entities
+
+        saved = (
+            proto_entities._minion_ids,
+            proto_entities._query_ids,
+            isos_process._pid_counter,
+            nvme_commands._cid_counter,
+        )
+        proto_entities._minion_ids = self.minions
+        proto_entities._query_ids = self.queries
+        isos_process._pid_counter = self.pids
+        nvme_commands._cid_counter = self.cids
+        try:
+            yield
+        finally:
+            (
+                proto_entities._minion_ids,
+                proto_entities._query_ids,
+                isos_process._pid_counter,
+                nvme_commands._cid_counter,
+            ) = saved

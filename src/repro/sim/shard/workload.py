@@ -1,0 +1,408 @@
+"""Host-side workloads for sharded runs.
+
+Two drivers, mirroring the two fleet-level experiment families:
+
+- :class:`JobDrill` — the batch analytics job (``fleet.run_job`` shape):
+  every staged book gets one minion per app, dispatched concurrently with
+  replica-chain failover, followed by a fleet-wide telemetry sweep;
+- :class:`TrafficDrill` — the open-loop multi-tenant service frontend
+  (``service.frontend`` shape): a seeded arrival stream, a bounded FIFO
+  admission queue, ``concurrency`` dispatch workers, per-class exact
+  latency percentiles and SLO grades.
+
+Both run entirely on the :class:`~repro.sim.shard.host.HostDomain`
+simulator and reach devices only through ``host.call`` — which is what
+makes their scorecards a pure function of the scenario, independent of
+shard grouping or backend.  Scorecards are plain JSON-able dicts so the
+equivalence suite can digest them with ``payload_digest``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Generator, Sequence
+
+from repro.config.schema import ScenarioConfig, ServiceConfig
+from repro.sim.core import SimulationError
+from repro.sim.shard.host import HostDomain
+
+__all__ = ["JobDrill", "ShardTopology", "TrafficDrill", "build_topology"]
+
+
+# ---------------------------------------------------------------------------
+# placement
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ShardTopology:
+    """Book placement over the device ring, mirrored from the fleet layer.
+
+    ``placement[i]`` holds ring position *i*'s primary books; ``chains``
+    maps each book name to its replica chain (primary-first ring indices);
+    ``staged[i]`` is everything cell *i* must write at staging time —
+    primaries first, then replica copies in ring order of their primaries.
+    """
+
+    ring: list[tuple[int, str]]
+    placement: dict[int, list]
+    chains: dict[str, list[int]]
+    staged: dict[int, list] = field(default_factory=dict)
+
+
+def build_topology(config: ScenarioConfig, books: Sequence) -> ShardTopology:
+    """Round-robin books over nodes, then over each node's devices —
+    exactly the fleet's ``placement()`` — and derive replica chains of
+    ``fleet.replicas`` consecutive ring entries."""
+    from repro.workloads import partition_round_robin
+
+    fleet = config.fleet
+    ring = [
+        (node, f"compstor{dev}")
+        for node in range(fleet.nodes)
+        for dev in range(fleet.devices_per_node)
+    ]
+    if fleet.replicas > len(ring):
+        raise ValueError(
+            f"replicas={fleet.replicas} exceeds ring size {len(ring)}"
+        )
+    placement: dict[int, list] = {}
+    for node, node_books in enumerate(partition_round_robin(list(books), fleet.nodes)):
+        for dev, dev_books in enumerate(
+            partition_round_robin(node_books, fleet.devices_per_node)
+        ):
+            placement[node * fleet.devices_per_node + dev] = dev_books
+    chains: dict[str, list[int]] = {}
+    staged = {i: list(placement[i]) for i in range(len(ring))}
+    for i in range(len(ring)):
+        chain = [(i + j) % len(ring) for j in range(fleet.replicas)]
+        for book in placement[i]:
+            chains[book.name] = chain
+        for j in chain[1:]:
+            staged[j].extend(placement[i])
+    return ShardTopology(ring=ring, placement=placement, chains=chains, staged=staged)
+
+
+def _command_line(app: str, book_name: str) -> str:
+    # grep/gawk take a pattern argument; the fixture corpus seeds
+    # "xylophone" needles, matching the fleet experiments.
+    if app in ("grep", "gawk"):
+        return f"{app} xylophone {book_name}"
+    return f"{app} {book_name}"
+
+
+def _percentile(sorted_values: list[float], q: float) -> float | None:
+    """Exact (nearest-rank) percentile of an already-sorted list."""
+    if not sorted_values:
+        return None
+    index = max(0, ceil(q * len(sorted_values)) - 1)
+    return round(sorted_values[index], 6)
+
+
+# ---------------------------------------------------------------------------
+# batch jobs
+# ---------------------------------------------------------------------------
+
+
+class JobDrill:
+    """One minion per (app, book) with replica-chain failover."""
+
+    def __init__(
+        self,
+        host: HostDomain,
+        topology: ShardTopology,
+        apps: Sequence[str],
+        base: float,
+    ):
+        self.host = host
+        self.topology = topology
+        self.apps = tuple(apps)
+        self.base = base
+        self._scorecard: dict | None = None
+
+    def start(self) -> None:
+        self.host.sim.process(self._drive(), name="job-drill")
+
+    def scorecard(self) -> dict:
+        if self._scorecard is None:
+            raise SimulationError("job drill did not run to completion")
+        return self._scorecard
+
+    def _serve_book(self, app: str, book_name: str) -> Generator:
+        chain = self.topology.chains[book_name]
+        line = _command_line(app, book_name)
+        for hops, ring_index in enumerate(chain):
+            result = yield from self.host.call(
+                f"cell{ring_index}", "minion", {"command_line": line}
+            )
+            if "error" not in result:
+                return {"book": book_name, "hops": hops, "result": result}
+        return {"book": book_name, "hops": len(chain), "result": None}
+
+    def _drive(self) -> Generator:
+        from repro.testing import canonical_value
+
+        sim = self.host.sim
+        if self.base > sim.now:
+            yield sim.timeout(self.base - sim.now)
+        ring_size = len(self.topology.ring)
+        apps_report: dict[str, dict] = {}
+        totals = Counter()
+        for app in self.apps:
+            procs = [
+                sim.process(
+                    self._serve_book(app, book.name), name=f"job.{app}.{book.name}"
+                )
+                for ring_index in range(ring_size)
+                for book in self.topology.placement[ring_index]
+            ]
+            results = yield sim.all_of(procs)
+            outcomes = [results[proc] for proc in procs]
+            completed = recovered = lost = stdout_bytes = 0
+            statuses: Counter = Counter()
+            for outcome in outcomes:
+                if outcome["result"] is None:
+                    lost += 1
+                    continue
+                if outcome["hops"] == 0:
+                    completed += 1
+                else:
+                    recovered += 1
+                statuses[outcome["result"]["status"]] += 1
+                stdout_bytes += outcome["result"]["stdout_bytes"]
+            dispatched = len(outcomes)
+            if completed + recovered + lost != dispatched:
+                raise SimulationError(
+                    f"job conservation broken for {app}: "
+                    f"{completed}+{recovered}+{lost} != {dispatched}"
+                )
+            apps_report[app] = {
+                "dispatched": dispatched,
+                "completed": completed,
+                "recovered": recovered,
+                "lost": lost,
+                "statuses": dict(sorted(statuses.items())),
+                "stdout_bytes": stdout_bytes,
+            }
+            totals.update(
+                dispatched=dispatched,
+                completed=completed,
+                recovered=recovered,
+                lost=lost,
+            )
+        probes = [
+            sim.process(
+                self.host.call(f"cell{i}", "status", {}), name=f"status.cell{i}"
+            )
+            for i in range(ring_size)
+        ]
+        probe_results = yield sim.all_of(probes)
+        snapshots = [probe_results[proc] for proc in probes]
+        telemetry_blob = "\n".join(
+            str(canonical_value(snapshot)) for snapshot in snapshots
+        )
+        self._scorecard = {
+            "kind": "jobs",
+            "apps": apps_report,
+            "dispatched": totals["dispatched"],
+            "completed": totals["completed"],
+            "recovered": totals["recovered"],
+            "lost": totals["lost"],
+            "telemetry": {
+                "probes": ring_size,
+                "errors": sum(1 for s in snapshots if "error" in s),
+                "digest": hashlib.sha256(telemetry_blob.encode()).hexdigest(),
+            },
+            "makespan_ms": round((sim.now - self.base) * 1e3, 6),
+        }
+
+
+# ---------------------------------------------------------------------------
+# open-loop traffic
+# ---------------------------------------------------------------------------
+
+
+class TrafficDrill:
+    """Seeded arrivals -> bounded FIFO admission -> concurrent dispatch.
+
+    Arrivals beyond ``service.queue_depth`` waiting requests are shed at
+    the door; admitted requests are served FIFO by ``service.concurrency``
+    workers, each walking the target book's replica chain on delivery
+    failure.  Conservation (offered == admitted + shed,
+    admitted == completed + lost) is enforced, not just reported.
+    """
+
+    def __init__(
+        self,
+        host: HostDomain,
+        topology: ShardTopology,
+        config: ScenarioConfig,
+        books: Sequence,
+        base: float,
+    ):
+        if config.traffic is None:
+            raise ValueError("traffic workload needs a traffic config section")
+        self.host = host
+        self.topology = topology
+        self.traffic = config.traffic
+        self.service = config.service or ServiceConfig()
+        self.books = list(books)
+        self.base = base
+        self.offered = self.admitted = self.shed = 0
+        self.completed = self.lost = 0
+        self._in_service = 0
+        self._closed = False
+        self._queue: deque = deque()
+        self._idle: deque = deque()
+        self._classes = {
+            cls.name: {
+                "offered": 0,
+                "admitted": 0,
+                "shed": 0,
+                "completed": 0,
+                "lost": 0,
+                "failover": 0,
+                "slo_ms": cls.slo_ms,
+                "latencies": [],
+            }
+            for cls in self.service.classes
+        }
+        self._finished_at = base
+
+    def start(self) -> None:
+        sim = self.host.sim
+        sim.process(self._arrivals(), name="traffic.arrivals")
+        for k in range(self.service.concurrency):
+            sim.process(self._worker(), name=f"traffic.worker{k}")
+
+    # -- admission ------------------------------------------------------------
+    def _arrivals(self) -> Generator:
+        from repro.service.traffic import TrafficGenerator, assign_class
+
+        sim = self.host.sim
+        if self.base > sim.now:
+            yield sim.timeout(self.base - sim.now)
+        previous = 0.0
+        for index, arrival in enumerate(TrafficGenerator(self.traffic).arrivals()):
+            if arrival.time > previous:
+                yield sim.timeout(arrival.time - previous)
+                previous = arrival.time
+            cls = assign_class(arrival.tenant, self.service.classes)
+            stats = self._classes[cls]
+            self.offered += 1
+            stats["offered"] += 1
+            if len(self._queue) >= self.service.queue_depth:
+                self.shed += 1
+                stats["shed"] += 1
+                continue
+            self.admitted += 1
+            stats["admitted"] += 1
+            book = self.books[
+                zlib.crc32(f"{index}:{arrival.tenant}".encode()) % len(self.books)
+            ]
+            item = (sim.now, cls, book.name)
+            if self._idle:
+                self._idle.popleft().succeed(item)
+            else:
+                self._queue.append(item)
+        self._closed = True
+        self._maybe_release()
+
+    # -- dispatch -------------------------------------------------------------
+    def _worker(self) -> Generator:
+        sim = self.host.sim
+        while True:
+            if self._queue:
+                item = self._queue.popleft()
+            elif self._closed and self._in_service == 0 and not self._queue:
+                return
+            else:
+                gate = sim.event(name="traffic.idle")
+                self._idle.append(gate)
+                item = yield gate
+                if item is None:
+                    return
+            yield from self._serve(item)
+
+    def _serve(self, item) -> Generator:
+        admitted_at, cls, book_name = item
+        self._in_service += 1
+        chain = self.topology.chains[book_name]
+        line = _command_line("grep", book_name)
+        served_hops = None
+        for hops, ring_index in enumerate(chain):
+            result = yield from self.host.call(
+                f"cell{ring_index}", "minion", {"command_line": line}
+            )
+            if "error" not in result:
+                served_hops = hops
+                break
+        self._in_service -= 1
+        stats = self._classes[cls]
+        now = self.host.sim.now
+        self._finished_at = max(self._finished_at, now)
+        if served_hops is None:
+            self.lost += 1
+            stats["lost"] += 1
+        else:
+            self.completed += 1
+            stats["completed"] += 1
+            if served_hops > 0:
+                stats["failover"] += 1
+            stats["latencies"].append((now - admitted_at) * 1e3)
+        self._maybe_release()
+
+    def _maybe_release(self) -> None:
+        if self._closed and not self._queue and self._in_service == 0:
+            while self._idle:
+                self._idle.popleft().succeed(None)
+
+    # -- reporting ------------------------------------------------------------
+    def scorecard(self) -> dict:
+        if not self._closed or self._in_service or self._queue:
+            raise SimulationError("traffic drill did not run to completion")
+        if self.admitted + self.shed != self.offered:
+            raise SimulationError(
+                f"admission conservation broken: {self.admitted}+{self.shed} "
+                f"!= {self.offered}"
+            )
+        if self.completed + self.lost != self.admitted:
+            raise SimulationError(
+                f"service conservation broken: {self.completed}+{self.lost} "
+                f"!= {self.admitted}"
+            )
+        classes = {}
+        for name, stats in self._classes.items():
+            latencies = sorted(stats["latencies"])
+            slo_hits = sum(1 for value in latencies if value <= stats["slo_ms"])
+            classes[name] = {
+                "offered": stats["offered"],
+                "admitted": stats["admitted"],
+                "shed": stats["shed"],
+                "completed": stats["completed"],
+                "lost": stats["lost"],
+                "failover": stats["failover"],
+                "p50_ms": _percentile(latencies, 0.50),
+                "p99_ms": _percentile(latencies, 0.99),
+                "p999_ms": _percentile(latencies, 0.999),
+                "slo_ms": stats["slo_ms"],
+                "slo_hits": slo_hits,
+            }
+        return {
+            "kind": "traffic",
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "completed": self.completed,
+            "lost": self.lost,
+            "conservation": {
+                "admission": self.admitted + self.shed == self.offered,
+                "service": self.completed + self.lost == self.admitted,
+            },
+            "classes": classes,
+            "duration_ms": round((self._finished_at - self.base) * 1e3, 6),
+        }

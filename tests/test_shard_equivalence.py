@@ -1,0 +1,119 @@
+"""Differential equivalence: the sharded engine vs itself, everywhere.
+
+The conservative-sync design argument (DESIGN.md §14) is that shard count
+and backend are *execution-grouping* knobs: every horizon the engine
+computes is a function of global domain state, never of how cells are
+grouped into OS processes.  These tests turn that argument into a pinned
+property:
+
+- each pinned scenario's full result payload digest is byte-identical at
+  shards ∈ {1, 2, 4} (``shards=1`` is the sequential oracle);
+- the ``process`` backend reproduces the sequential oracle exactly;
+- the parallel runner replays cells identically at ``--workers`` 1 and 4
+  (canonical merge + result cache);
+- the digests match the checked-in goldens, so the schedule semantics of
+  the sharded engine can never drift silently.
+
+Regenerate goldens after an *intentional* model change with::
+
+    PYTHONPATH=src python -c "
+    from repro.config.presets import preset
+    from repro.config.codec import to_dict
+    from repro.sim.shard import run_shard_cell
+    from repro.testing import reset_global_ids
+    for name in ('smoke', 'fig6', 'chaos-drill', 'traffic-smoke'):
+        reset_global_ids()
+        p = run_shard_cell(to_dict(preset(name)), shards=1)
+        print(f\"{p['result']['digest']}  {name}\")" \
+    > tests/golden_shard_digests.txt
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.config.codec import to_dict
+from repro.config.presets import preset
+from repro.sim.shard import run_shard_cell
+
+GOLDEN_PATH = Path(__file__).parent / "golden_shard_digests.txt"
+
+#: The pinned differential scenarios: a trivial single-cell run, a batch
+#: drill, a faulted recovery drill, and a multi-tenant serving drill —
+#: between them they exercise jobs + traffic workloads, replica chains,
+#: fault arming, and admission/shed accounting across the boundary.
+PINNED = ("smoke", "fig6", "chaos-drill", "traffic-smoke")
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _goldens() -> dict[str, str]:
+    table = {}
+    for line in GOLDEN_PATH.read_text().splitlines():
+        digest, name = line.split()
+        table[name] = digest
+    return table
+
+
+def _run(name: str, **overrides) -> dict:
+    return run_shard_cell(to_dict(preset(name)), **overrides)
+
+
+@pytest.mark.parametrize("name", PINNED)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_digest_is_shard_count_independent(name: str, shards: int) -> None:
+    """Every shard count reproduces the checked-in oracle digest."""
+    payload = _run(name, shards=shards)
+    assert payload["result"]["digest"] == _goldens()[name], (
+        f"{name} at shards={shards} diverged from the pinned oracle"
+    )
+
+
+@pytest.mark.parametrize("name", PINNED)
+def test_full_payloads_identical_across_shard_counts(name: str) -> None:
+    """Not just the digest: rounds, event counts, message counts, and every
+    cell fingerprint agree across groupings (digest collisions can't hide
+    a divergence the payload would show)."""
+    payloads = [_run(name, shards=shards)["result"] for shards in SHARD_COUNTS]
+    for other in payloads[1:]:
+        assert other == payloads[0]
+
+
+@pytest.mark.parametrize("name", ("fig6", "chaos-drill"))
+@pytest.mark.parametrize("shards", (2, 4))
+def test_process_backend_matches_sequential_oracle(name: str, shards: int) -> None:
+    """Spawn workers over pipes produce the same bytes as the in-process
+    oracle — the engine's rounds are deterministic regardless of which
+    side of a pipe a cell lives on."""
+    payload = _run(name, shards=shards, backend="process")
+    assert payload["result"]["digest"] == _goldens()[name]
+    assert payload["run"]["backend"] == "process"
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+def test_matrix_replay_is_worker_count_independent(workers: int) -> None:
+    """Shard cells through the parallel runner: canonical merge keeps the
+    results byte-identical at any worker count, and every digest matches
+    the oracle."""
+    from repro.obs import MetricsRegistry
+    from repro.parallel import run_jobs, shard_jobs
+
+    specs = shard_jobs(to_dict(preset("smoke")), shard_counts=(1, 2, 4))
+    report = run_jobs(specs, workers=workers, metrics=MetricsRegistry())
+    digests = [value["result"]["digest"] for value in report.values()]
+    assert digests == [_goldens()["smoke"]] * 3
+
+
+def test_conservation_in_every_pinned_payload() -> None:
+    """No message is lost at the boundary: sent == delivered and nothing
+    is in flight at quiescence, for every pinned scenario."""
+    for name in PINNED:
+        messages = _run(name, shards=2)["result"]["messages"]
+        assert messages["sent"] == messages["delivered"], name
+        assert messages["in_flight"] == 0, name
+
+
+def test_goldens_cover_exactly_the_pinned_scenarios() -> None:
+    assert set(_goldens()) == set(PINNED)
