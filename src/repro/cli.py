@@ -550,6 +550,79 @@ def _cmd_drill(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_objstore(args: argparse.Namespace) -> None:
+    """Run the dedup object-store drill pair — the GC-under-crash ingest
+    cell and the delete-wave reclamation stress — or, with ``--sweep``, the
+    fig-style dedup-ratio sweep (one ingest cell per dial).
+
+    Each cell is a hermetic matrix job (the scenario dict is the whole
+    input), so cells shard across ``--workers`` and cache like figure
+    cells; the trailing scorecard digest is the byte-stable identity CI
+    pins.  The drill pair *fails* (exit 1) if any cell reports a lost or
+    corrupted referenced block — the crash-recovery invariant.
+    """
+    from repro.parallel import objstore_jobs, objstore_sweep_jobs, payload_digest
+
+    _, payload = _scenario_payload(args)
+    if args.sweep is not None:
+        dials = tuple(args.sweep) if args.sweep else None
+        jobs = (
+            objstore_sweep_jobs(payload)
+            if dials is None
+            else objstore_sweep_jobs(payload, dials=dials)
+        )
+        report = _run_matrix(jobs, args)
+        values = report.values()
+        rows = [
+            [
+                f"{value['dial']:.2f}", value["objects_committed"],
+                value["chunks"], value["chunks_deduped"],
+                value["offered_bytes"], value["stored_bytes"],
+                value["deduped_bytes"], f"{value['measured_ratio']:.3f}",
+            ]
+            for value in values
+        ]
+        print(format_series_table(
+            "dedup sweep (measured ratio = offered / stored bytes)",
+            ["dial", "objects", "chunks", "deduped", "offered B",
+             "stored B", "deduped B", "ratio"],
+            rows,
+        ))
+        print(f"scorecard digest={payload_digest(values)}")
+        return
+    report = _run_matrix(objstore_jobs(payload), args)
+    values = report.values()
+    rows = []
+    failures = []
+    for name, value in zip(("ingest", "gc-drill"), values):
+        integrity = value["integrity"]
+        gets = value["gets"]
+        rows.append([
+            name, value["objects_committed"],
+            value.get("objects_deleted", 0),
+            f"{value['stats']['dedup_ratio']:.3f}",
+            ",".join(value["down_during_gc"]) or "-",
+            value["gc_during_crash"]["blocks"] + value["gc_after_recovery"]["blocks"],
+            value.get("orphans_left", 0),
+            gets["ok"], len(integrity["lost_blocks"]),
+            "yes" if value["ok"] else "no",
+        ])
+        if not value["ok"]:
+            detail = integrity["lost_blocks"] or integrity["refcount_drift"]
+            failures.append(f"{name}: invariant violated ({detail or gets})")
+    print(format_series_table(
+        "objstore drill (GC raced against the crash window)",
+        ["cell", "committed", "deleted", "ratio", "down during GC",
+         "GC blocks", "orphans", "gets ok", "lost", "ok"],
+        rows,
+    ))
+    print(f"scorecard digest={payload_digest(values)}")
+    if failures:
+        for failure in failures:
+            print(f"objstore drill failed: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+
+
 def _cmd_metrics(args: argparse.Namespace) -> None:
     """Run a workload with full observability on; dump every export surface.
 
@@ -827,6 +900,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_args(p)
     add_scenario_args(p, default_preset="metastable")
     p.set_defaults(func=_cmd_drill)
+
+    p = sub.add_parser(
+        "objstore",
+        help="dedup object-store drill (in-situ chunk+hash, GC under crash)",
+    )
+    p.add_argument(
+        "--sweep", type=float, nargs="*", default=None, metavar="DIAL",
+        help="run the dedup-ratio sweep instead of the drill pair; optional "
+             "dial list overrides the default 0.0 0.25 0.5 0.75 0.9",
+    )
+    _add_parallel_args(p)
+    add_scenario_args(p, default_preset="objstore-smoke")
+    p.set_defaults(func=_cmd_objstore)
 
     p = sub.add_parser(
         "shard",

@@ -181,6 +181,10 @@ class StorageFleet:
         ``replicas=k`` additionally writes each book to the ``k-1`` devices
         following its primary on the fleet-wide :meth:`device_ring`, and
         records the replica chains :meth:`run_job` reroutes along.
+
+        Staging is additive: chains recorded by earlier :meth:`stage_corpus`
+        calls survive, so a fleet can hold several corpora and still fail
+        over books from any of them.  Restaging a book updates its chain.
         """
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
@@ -189,7 +193,6 @@ class StorageFleet:
             raise ValueError(f"replicas={replicas} exceeds {len(ring)} devices")
         placement = self.placement(books)
         ring_index = {target: i for i, target in enumerate(ring)}
-        self._replica_map = {}
         for target, dev_books in placement.items():
             base = ring_index[target]
             chain = [ring[(base + j) % len(ring)] for j in range(replicas)]

@@ -47,6 +47,7 @@ from repro.config.schema import (
     FleetConfig,
     IspsConfig,
     NvmeConfig,
+    ObjstoreConfig,
     ObsConfig,
     OverloadConfig,
     PcieConfig,
@@ -64,6 +65,7 @@ __all__ = [
     "FleetConfig",
     "IspsConfig",
     "NvmeConfig",
+    "ObjstoreConfig",
     "ObsConfig",
     "OverloadConfig",
     "PRESETS",

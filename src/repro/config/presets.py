@@ -16,6 +16,7 @@ from repro.config.schema import (
     FaultsConfig,
     FlashConfig,
     FleetConfig,
+    ObjstoreConfig,
     OverloadConfig,
     ScenarioConfig,
     ServiceConfig,
@@ -219,6 +220,36 @@ def _traffic_soak() -> ScenarioConfig:
     )
 
 
+def _objstore_smoke() -> ScenarioConfig:
+    """The pinned dedup-store drill: the replicated 2x2 fleet ingesting a
+    half-duplicate object batch through in-situ ``chunksum`` minions, with
+    a recoverable device crash landing mid-ingest and a second one during
+    the GC pass — the crash-recovery invariant (no committed chunk lost)
+    is exactly what this preset's scorecard digest pins."""
+    return ScenarioConfig(
+        name="objstore-smoke",
+        flash=FlashConfig(capacity_bytes=24 * 1024 * 1024),
+        fleet=FleetConfig(nodes=2, devices_per_node=2, replicas=2),
+        corpus=CorpusSpec(files=4, mean_file_bytes=16 * 1024, seed=0),
+        retry=RetryPolicy(),
+        breaker=BreakerConfig(),
+        faults=FaultsConfig(
+            seed=0,
+            events=(
+                # mid-ingest (the batch takes ~40 ms to land)
+                FaultSpec(kind="device-crash", ring_index=1, at_ms=0.5,
+                          duration_ms=4.0),
+                # mid-GC: the drill schedules its first sweep inside this
+                # window, so reclamation runs with a device down
+                FaultSpec(kind="device-crash", ring_index=3, at_ms=55.0,
+                          duration_ms=20.0),
+            ),
+        ),
+        objstore=ObjstoreConfig(objects=24, mean_object_bytes=24 * 1024,
+                                dedup_ratio=0.5, replicas=2, seed=0),
+    )
+
+
 PRESETS = {
     "paper-prototype": _paper_prototype,
     "smoke": _smoke,
@@ -230,6 +261,7 @@ PRESETS = {
     "traffic-closedloop": _traffic_closedloop,
     "traffic-soak": _traffic_soak,
     "metastable": _metastable,
+    "objstore-smoke": _objstore_smoke,
 }
 
 

@@ -46,6 +46,7 @@ __all__ = [
     "FleetConfig",
     "IspsConfig",
     "NvmeConfig",
+    "ObjstoreConfig",
     "ObsConfig",
     "OverloadConfig",
     "PcieConfig",
@@ -502,6 +503,75 @@ class OverloadConfig:
             raise ValueError("slo_objective must be in (0, 1)")
 
 
+@dataclass(frozen=True, slots=True)
+class ObjstoreConfig:
+    """The deduplicating object store and its synthetic write workload.
+
+    ``objects``/``mean_object_bytes``/``dedup_ratio``/``segment_bytes``/
+    ``pool_segments``/``seed`` shape the generated payload batch
+    (:class:`repro.objstore.workload.ObjectSpec`); ``chunk_min``/``avg``/
+    ``max`` are the content-defined chunking bounds shipped to the in-situ
+    ``chunksum`` minions; ``replicas`` is the block replica-chain length on
+    the device ring.  ``write_fraction`` engages the service-frontend write
+    mix: that fraction of tenants (hashed deterministically) issue PUTs
+    instead of read commands.
+    """
+
+    objects: int = 16
+    mean_object_bytes: int = 32 * 1024
+    dedup_ratio: float = 0.5
+    # duplicate extents must span several chunks for content-defined
+    # boundaries to resynchronise inside them — that resync margin (about
+    # one chunk per extent edge) is what separates the measured ratio from
+    # the workload dial
+    segment_bytes: int = 16 * 1024
+    pool_segments: int = 8
+    chunk_min: int = 512
+    chunk_avg: int = 2048
+    chunk_max: int = 8192
+    replicas: int = 2
+    seed: int = 0
+    write_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.params()  # ChunkParams validates the chunking bounds
+        if self.objects < 1:
+            raise ValueError("objects must be >= 1")
+        if self.mean_object_bytes < 1:
+            raise ValueError("mean_object_bytes must be >= 1")
+        if not 0.0 <= self.dedup_ratio <= 1.0:
+            raise ValueError("dedup_ratio must be in [0, 1]")
+        if self.segment_bytes < 1:
+            raise ValueError("segment_bytes must be >= 1")
+        if self.pool_segments < 1:
+            raise ValueError("pool_segments must be >= 1")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+
+    def params(self):
+        """The chunking bounds as a :class:`~repro.objstore.chunking.ChunkParams`."""
+        from repro.objstore.chunking import ChunkParams
+
+        return ChunkParams(
+            min_size=self.chunk_min, avg_size=self.chunk_avg, max_size=self.chunk_max
+        )
+
+    def spec(self):
+        """The workload shape as an :class:`~repro.objstore.workload.ObjectSpec`."""
+        from repro.objstore.workload import ObjectSpec
+
+        return ObjectSpec(
+            objects=self.objects,
+            mean_object_bytes=self.mean_object_bytes,
+            dedup_ratio=self.dedup_ratio,
+            segment_bytes=self.segment_bytes,
+            pool_segments=self.pool_segments,
+            seed=self.seed,
+        )
+
+
 #: Execution backends the sharded simulation engine understands.
 SHARD_BACKENDS: tuple[str, ...] = ("sequential", "process")
 
@@ -591,6 +661,9 @@ class ScenarioConfig:
         default=None, metadata={"omit_if_none": True}
     )
     sharding: ShardingConfig | None = field(
+        default=None, metadata={"omit_if_none": True}
+    )
+    objstore: ObjstoreConfig | None = field(
         default=None, metadata={"omit_if_none": True}
     )
 

@@ -1,0 +1,124 @@
+"""Content-defined chunking: rolling-hash boundaries with size bounds.
+
+The dedup store splits object payloads into variable-size chunks whose
+boundaries depend on *content*, not offsets, so an insertion early in an
+object shifts bytes without shifting every later chunk boundary — the
+property that makes digest-based dedup effective (the casstor lineage:
+Rabin-fingerprint chunking over Cassandra blobs).
+
+This implementation uses a Gear rolling hash (a 256-entry random table,
+one shift-add-lookup per byte — the FastCDC family's hash) with min/avg/max
+bounds:
+
+- no boundary before ``min_size`` bytes (the hash is still warming up and
+  tiny chunks waste index space);
+- a boundary wherever the low ``bits(avg_size)`` bits of the hash are zero
+  (expected chunk length ~= ``avg_size``);
+- a forced boundary at ``max_size`` (bounds the worst case on
+  pathological content such as long runs of one byte).
+
+The hash state resets at every boundary, so chunking is *self-synchronising*:
+cutting a payload at any emitted boundary and chunking the halves separately
+reproduces exactly the original chunk sequence.  The Hypothesis suite pins
+that property (``tests/test_chunking.py``), and the in-situ minion app
+(:class:`repro.objstore.apps.ChunkSumApp`) feeds pages through the same
+incremental :class:`Chunker`, so device-side and host-side boundaries are
+identical by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["ChunkParams", "Chunker", "chunk_digests", "chunk_spans"]
+
+#: Gear table: 256 pinned 64-bit constants.  Seeded stdlib RNG instance —
+#: module-load determinism, never the global RNG.
+_GEAR_RNG = random.Random(0x9E3779B97F4A7C15)
+_GEAR: tuple[int, ...] = tuple(_GEAR_RNG.getrandbits(64) for _ in range(256))
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkParams:
+    """Chunking bounds; ``avg_size`` sets the boundary-mask width."""
+
+    min_size: int = 1024
+    avg_size: int = 4096
+    max_size: int = 16384
+
+    def __post_init__(self) -> None:
+        if self.min_size < 1:
+            raise ValueError("min_size must be >= 1")
+        if not self.min_size <= self.avg_size <= self.max_size:
+            raise ValueError("need min_size <= avg_size <= max_size")
+
+    @property
+    def mask(self) -> int:
+        """Boundary mask: ``avg_size`` as a power-of-two bit width."""
+        return (1 << max(1, self.avg_size.bit_length() - 1)) - 1
+
+
+class Chunker:
+    """Incremental content-defined chunker (page-seam safe).
+
+    Feed bytes in any fragmentation via :meth:`update`; each call yields the
+    lengths of the chunks completed by those bytes.  :meth:`finish` flushes
+    the trailing partial chunk.  Boundary decisions depend only on the bytes
+    since the previous boundary, never on fragment sizes, so streaming a
+    file page by page produces the same chunks as one whole-buffer pass.
+    """
+
+    def __init__(self, params: ChunkParams):
+        self.params = params
+        self._hash = 0
+        self._length = 0
+
+    def update(self, data: bytes) -> Iterator[int]:
+        gear = _GEAR
+        mask = self.params.mask
+        min_size = self.params.min_size
+        max_size = self.params.max_size
+        h = self._hash
+        length = self._length
+        for byte in data:
+            h = ((h << 1) + gear[byte]) & _MASK64
+            length += 1
+            if (length >= min_size and (h & mask) == 0) or length >= max_size:
+                yield length
+                h = 0
+                length = 0
+        self._hash = h
+        self._length = length
+
+    def finish(self) -> int | None:
+        """The trailing partial chunk's length (``None`` if flush-aligned)."""
+        length = self._length if self._length else None
+        self._hash = 0
+        self._length = 0
+        return length
+
+
+def chunk_spans(data: bytes, params: ChunkParams) -> list[tuple[int, int]]:
+    """``(offset, length)`` spans covering ``data`` exactly, in order."""
+    chunker = Chunker(params)
+    spans: list[tuple[int, int]] = []
+    offset = 0
+    for length in chunker.update(data):
+        spans.append((offset, length))
+        offset += length
+    tail = chunker.finish()
+    if tail is not None:
+        spans.append((offset, tail))
+    return spans
+
+
+def chunk_digests(data: bytes, params: ChunkParams) -> list[tuple[str, int]]:
+    """``(sha1_hex, length)`` per chunk — what PUT ships across PCIe."""
+    return [
+        (hashlib.sha1(data[offset:offset + length]).hexdigest(), length)
+        for offset, length in chunk_spans(data, params)
+    ]

@@ -1,0 +1,288 @@
+"""Object-store cells: dedup ingest and the GC crash drill as hermetic jobs.
+
+Like :mod:`repro.service.drill`, every cell is module-path addressable,
+JSON-in / JSON-out, hermetic (the scenario dict is the entire input), so the
+parallel runner can cache it and ``--workers N`` produces byte-identical
+scorecards.
+
+Three cells:
+
+- :func:`run_objstore_cell` — the headline drill: ingest a half-duplicate
+  object batch through in-situ ``chunksum`` minions while the preset's
+  fault plan crashes devices, GC while one device is *still down*, GC again
+  after recovery, then read every object back and check the crash-recovery
+  invariant (no committed chunk lost, accounting identity holds);
+- :func:`run_gc_drill_cell` — the reclamation stress: same ingest, then a
+  delete wave, a GC pass raced against the crash window, and the orphan
+  count after the post-recovery pass (the drill exits non-zero in CI if a
+  referenced block ever went missing);
+- :func:`run_objstore_sweep_cell` — the fig-style dedup sweep point: one
+  ingest at an overridden ``dedup_ratio`` dial, reporting offered vs stored
+  bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Mapping
+
+from repro.config.codec import scenario_from_dict
+from repro.config.schema import ObjstoreConfig, ScenarioConfig
+
+__all__ = [
+    "objstore_scenario",
+    "run_gc_drill_cell",
+    "run_objstore_cell",
+    "run_objstore_sweep_cell",
+]
+
+
+def objstore_scenario(config: ScenarioConfig) -> ScenarioConfig:
+    """A scenario with its objstore section engaged (defaults filled in)."""
+    objstore = config.objstore if config.objstore is not None else ObjstoreConfig()
+    return replace(config, objstore=objstore)
+
+
+def _fault_times_s(config: ScenarioConfig) -> tuple[float, float]:
+    """(mid, clear) seconds relative to the armed plan's base time: a point
+    inside the *last* fault window, and the moment everything recovered."""
+    events = config.faults.events
+    if not events:
+        return 0.0, 0.0
+    last_start = max(e.at_ms for e in events) / 1e3
+    clear = max(e.at_ms + (e.duration_ms or 0.0) for e in events) / 1e3
+    durations = [e.duration_ms for e in events if e.duration_ms]
+    mid = last_start + (min(durations) / 1e3 / 2 if durations else 0.0)
+    return mid, clear
+
+
+def _build(config: ScenarioConfig):
+    """Shared setup: fleet, staged corpus, armed faults, dedup store."""
+    from repro.config.factory import build_corpus, build_fault_plan, build_fleet
+    from repro.faults import FaultInjector
+    from repro.objstore.dedup import DedupObjectStore
+    from repro.objstore.workload import generate_objects
+
+    fleet = build_fleet(config)
+    sim = fleet.sim
+    books = build_corpus(config)
+    sim.run(sim.process(fleet.stage_corpus(books, replicas=config.fleet.replicas)))
+    base = sim.now
+    if config.faults.any:
+        plan = build_fault_plan(config, fleet.device_ring(), base_time=base)
+        FaultInjector.for_fleet(fleet, plan).start()
+    oc = config.objstore
+    store = DedupObjectStore(fleet, params=oc.params(), replicas=oc.replicas)
+    batch = generate_objects(oc.spec())
+    return fleet, sim, store, batch, base
+
+
+def _ingest(sim, store, batch):
+    """PUT the whole batch inside one sim process; returns per-key outcomes."""
+    from repro.objstore.store import ObjectStoreError
+
+    outcomes: dict[str, int | None] = {}
+
+    def drive():
+        for key, payload in batch:
+            try:
+                recipe = yield from store.put(key, payload)
+            except ObjectStoreError:
+                outcomes[key] = None  # uncommitted; GC reclaims the partials
+            else:
+                outcomes[key] = len(recipe)
+        return None
+
+    sim.run(sim.process(drive()))
+    return outcomes
+
+
+def _wait_until(sim, at: float) -> None:
+    if sim.now < at:
+        def nap():
+            yield sim.timeout(at - sim.now)
+        sim.run(sim.process(nap()))
+
+
+def _down_now(store) -> list[str]:
+    """``node<i>/<device>`` tags for every currently-crashed ring member."""
+    return [
+        f"node{node_index}/{device}"
+        for node_index, device in store.ring
+        if store._crashed(node_index, device)
+    ]
+
+
+def _verify_gets(sim, store, batch, outcomes) -> dict:
+    """Read every committed object back; byte-compare in functional mode."""
+    results = {"ok": 0, "mismatch": 0, "failed": 0}
+
+    def drive():
+        from repro.objstore.store import ObjectStoreError
+
+        for key, payload in batch:
+            if outcomes.get(key) is None:
+                continue
+            try:
+                data = yield from store.get(key)
+            except ObjectStoreError:
+                results["failed"] += 1
+                continue
+            if data is None or data == payload:
+                results["ok"] += 1  # None = analytic device, sizes checked
+            else:
+                results["mismatch"] += 1
+        return None
+
+    sim.run(sim.process(drive()))
+    return results
+
+
+def run_objstore_cell(scenario: Mapping[str, Any] | None = None) -> dict:
+    """Ingest + GC-under-crash + recovery GC + read-back verification."""
+    from repro.config.presets import preset
+
+    config = (
+        scenario_from_dict(scenario)
+        if scenario is not None
+        else preset("objstore-smoke")
+    )
+    config = objstore_scenario(config)
+    fleet, sim, store, batch, base = _build(config)
+    outcomes = _ingest(sim, store, batch)
+    mid, clear = _fault_times_s(config)
+    # first GC races the last crash window: the dead device is skipped and
+    # keeps its garbage; the pass must still never touch a referenced block
+    _wait_until(sim, base + mid)
+    down = _down_now(store)
+    gc_mid = sim.run(sim.process(store.gc()))
+    _wait_until(sim, base + clear + 1e-4)
+    gc_post = sim.run(sim.process(store.gc()))
+    gets = _verify_gets(sim, store, batch, outcomes)
+    integrity = store.check_integrity()
+    committed = sum(1 for v in outcomes.values() if v is not None)
+    return {
+        "scenario": config.name,
+        "objects_offered": len(batch),
+        "objects_committed": committed,
+        "stats": store.stats.to_payload(),
+        "down_during_gc": down,
+        "gc_during_crash": gc_mid,
+        "gc_after_recovery": gc_post,
+        "gets": gets,
+        "integrity": integrity,
+        "finished_at_ms": round((sim.now - base) * 1e3, 6),
+        "ok": bool(
+            integrity["ok"] and gets["mismatch"] == 0 and gets["failed"] == 0
+        ),
+    }
+
+
+def run_gc_drill_cell(scenario: Mapping[str, Any] | None = None) -> dict:
+    """The reclamation stress: ingest, delete a wave, GC mid-crash, recover.
+
+    Every third committed object is deleted before the first GC pass, so
+    the sweep has real work while a device is down.  The invariant scored
+    (and gated in CI): after the post-recovery pass, no chunk referenced by
+    a surviving manifest is missing from every replica — crashes may defer
+    reclamation, never cause loss.
+    """
+    from repro.config.presets import preset
+    from repro.objstore.store import ObjectStoreError
+
+    config = (
+        scenario_from_dict(scenario)
+        if scenario is not None
+        else preset("objstore-smoke")
+    )
+    config = objstore_scenario(config)
+    fleet, sim, store, batch, base = _build(config)
+    outcomes = _ingest(sim, store, batch)
+    committed = [k for k, v in outcomes.items() if v is not None]
+    doomed = committed[::3]
+
+    def delete_wave():
+        for key in doomed:
+            try:
+                yield from store.delete(key)
+            except ObjectStoreError:  # pragma: no cover - delete is metadata-only
+                pass
+        return None
+
+    sim.run(sim.process(delete_wave()))
+    mid, clear = _fault_times_s(config)
+    _wait_until(sim, base + mid)
+    down = _down_now(store)
+    gc_mid = sim.run(sim.process(store.gc()))
+    _wait_until(sim, base + clear + 1e-4)
+    gc_post = sim.run(sim.process(store.gc()))
+    survivors = {k: v for k, v in outcomes.items() if v is not None and k not in doomed}
+    gets = _verify_gets(sim, store, batch, survivors)
+    integrity = store.check_integrity()
+    # orphans the mid-crash pass could not reach must be gone after recovery
+    leftover = sum(
+        1
+        for node_index, device in store.ring
+        for name in store._ssd(node_index, device).fs.listdir()
+        if (name.startswith("blk.") and name[len("blk."):] not in store.index)
+        or name.startswith("put.")
+    )
+    return {
+        "scenario": config.name,
+        "objects_committed": len(committed),
+        "objects_deleted": len(doomed),
+        "stats": store.stats.to_payload(),
+        "down_during_gc": down,
+        "gc_during_crash": gc_mid,
+        "gc_after_recovery": gc_post,
+        "orphans_left": leftover,
+        "gets": gets,
+        "integrity": integrity,
+        "finished_at_ms": round((sim.now - base) * 1e3, 6),
+        "ok": bool(
+            integrity["ok"]
+            and leftover == 0
+            and gets["mismatch"] == 0
+            and gets["failed"] == 0
+        ),
+    }
+
+
+def run_objstore_sweep_cell(
+    scenario: Mapping[str, Any] | None = None, dedup_ratio: float = 0.5
+) -> dict:
+    """One dedup-sweep point: ingest at ``dedup_ratio``, report the bytes.
+
+    The sweep family plots measured ``dedup_ratio`` (offered / stored)
+    against the workload dial — the in-storage analogue of the paper's
+    figure sweeps, showing chunk+hash offload turning duplicate content
+    into PCIe traffic *not* taken.
+    """
+    from repro.config.presets import preset
+
+    config = (
+        scenario_from_dict(scenario)
+        if scenario is not None
+        else preset("objstore-smoke")
+    )
+    config = objstore_scenario(config)
+    config = replace(
+        config, objstore=replace(config.objstore, dedup_ratio=dedup_ratio)
+    )
+    fleet, sim, store, batch, base = _build(config)
+    outcomes = _ingest(sim, store, batch)
+    stats = store.stats
+    return {
+        "scenario": config.name,
+        "dial": round(dedup_ratio, 6),
+        "objects_committed": sum(1 for v in outcomes.values() if v is not None),
+        "offered_bytes": stats.offered_bytes,
+        "stored_bytes": stats.stored_bytes,
+        "deduped_bytes": stats.deduped_bytes,
+        "physical_bytes": stats.physical_bytes,
+        "measured_ratio": round(stats.dedup_ratio, 6),
+        "chunks": stats.chunks_offered,
+        "chunks_deduped": stats.chunks_deduped,
+        "host_chunk_fallbacks": stats.host_chunk_fallbacks,
+        "finished_at_ms": round((sim.now - base) * 1e3, 6),
+    }

@@ -1,0 +1,73 @@
+"""Deterministic object workloads with a controllable duplicate fraction.
+
+Dedup effectiveness is a property of the *data*, so the sweep experiments
+need payloads whose redundancy is a dial: :func:`generate_objects` builds
+each object from segments drawn either from a small shared pool (duplicate
+content the chunker should collapse) or freshly at random (unique content),
+with ``dedup_ratio`` setting the expected duplicate fraction.  Segments are
+a few chunks long so the content-defined boundaries can resynchronise
+inside them — the store's *measured* dedup ratio tracks the dial without
+matching it exactly (boundary chunks mix pooled and fresh bytes).
+
+Everything is driven by one seeded generator; same spec, same bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ObjectSpec", "generate_objects"]
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectSpec:
+    """Workload shape for one object batch."""
+
+    objects: int = 16
+    mean_object_bytes: int = 32 * 1024
+    dedup_ratio: float = 0.5  # expected fraction of segments drawn from the pool
+    segment_bytes: int = 16 * 1024  # granularity of reuse (several chunks wide)
+    pool_segments: int = 8  # distinct duplicate segments in circulation
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.objects < 1:
+            raise ValueError("objects must be >= 1")
+        if self.mean_object_bytes < 1:
+            raise ValueError("mean_object_bytes must be >= 1")
+        if not 0.0 <= self.dedup_ratio <= 1.0:
+            raise ValueError("dedup_ratio must be in [0, 1]")
+        if self.segment_bytes < 1:
+            raise ValueError("segment_bytes must be >= 1")
+        if self.pool_segments < 1:
+            raise ValueError("pool_segments must be >= 1")
+
+
+def generate_objects(spec: ObjectSpec) -> list[tuple[str, bytes]]:
+    """``(key, payload)`` pairs, a pure function of the spec."""
+    rng = np.random.default_rng(spec.seed)
+    pool = [
+        rng.integers(0, 256, size=spec.segment_bytes, dtype=np.uint8).tobytes()
+        for _ in range(spec.pool_segments)
+    ]
+    out: list[tuple[str, bytes]] = []
+    for i in range(spec.objects):
+        # lognormal-ish spread around the mean, one segment minimum
+        size = max(
+            spec.segment_bytes,
+            int(rng.normal(spec.mean_object_bytes, spec.mean_object_bytes / 4)),
+        )
+        segments: list[bytes] = []
+        remaining = size
+        while remaining > 0:
+            take = min(spec.segment_bytes, remaining)
+            if rng.random() < spec.dedup_ratio:
+                seg = pool[int(rng.integers(0, spec.pool_segments))][:take]
+            else:
+                seg = rng.integers(0, 256, size=take, dtype=np.uint8).tobytes()
+            segments.append(seg)
+            remaining -= take
+        out.append((f"obj{i:04d}", b"".join(segments)))
+    return out

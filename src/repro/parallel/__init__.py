@@ -36,6 +36,8 @@ from repro.parallel.matrix import (
     fig7_jobs,
     fig8_jobs,
     full_matrix,
+    objstore_jobs,
+    objstore_sweep_jobs,
     shard_jobs,
     traffic_jobs,
     validation_jobs,
@@ -60,6 +62,8 @@ __all__ = [
     "fig7_jobs",
     "fig8_jobs",
     "full_matrix",
+    "objstore_jobs",
+    "objstore_sweep_jobs",
     "payload_digest",
     "run_jobs",
     "shard_jobs",

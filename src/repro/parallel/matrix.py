@@ -26,6 +26,8 @@ __all__ = [
     "fig7_jobs",
     "fig8_jobs",
     "full_matrix",
+    "objstore_jobs",
+    "objstore_sweep_jobs",
     "shard_jobs",
     "traffic_jobs",
     "validation_jobs",
@@ -152,6 +154,46 @@ def drill_jobs(scenario: dict | None = None) -> list[JobSpec]:
             kwargs={"defenses": defenses, **_scenario_kwargs(scenario)},
         )
         for tag, defenses in (("defenses-on", True), ("defenses-off", False))
+    ]
+
+
+#: Dedup-ratio dials for the default objstore sweep, in dial order.
+OBJSTORE_SWEEP_DIALS = (0.0, 0.25, 0.5, 0.75, 0.9)
+
+
+def objstore_jobs(scenario: dict | None = None) -> list[JobSpec]:
+    """The object-store drill pair: the GC-under-crash cell and the
+    delete-wave reclamation stress over the *same* scenario (same digest,
+    same seed, same fault windows) — together they cover the crash-recovery
+    invariant from both sides: nothing referenced is ever lost, and nothing
+    unreferenced outlives the post-recovery sweep."""
+    return [
+        JobSpec(
+            name=f"objstore.{tag}",
+            target=f"repro.objstore.drill:{func}",
+            kwargs=_scenario_kwargs(scenario),
+        )
+        for tag, func in (
+            ("ingest", "run_objstore_cell"),
+            ("gc-drill", "run_gc_drill_cell"),
+        )
+    ]
+
+
+def objstore_sweep_jobs(
+    scenario: dict | None = None,
+    dials: Sequence[float] = OBJSTORE_SWEEP_DIALS,
+) -> list[JobSpec]:
+    """One ingest cell per dedup-ratio dial — the fig-style sweep showing
+    measured dedup ratio (offered / stored bytes) tracking the workload
+    dial as chunk+hash offload suppresses duplicate writes."""
+    return [
+        JobSpec(
+            name=f"objstore.sweep.d{dial:g}",
+            target="repro.objstore.drill:run_objstore_sweep_cell",
+            kwargs={"dedup_ratio": dial, **_scenario_kwargs(scenario)},
+        )
+        for dial in dials
     ]
 
 

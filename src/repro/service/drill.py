@@ -61,10 +61,21 @@ def run_traffic_cell(
     if config.faults.any:
         plan = build_fault_plan(config, fleet.device_ring(), base_time=sim.now)
         FaultInjector.for_fleet(fleet, plan).start()
+    # the objstore write mix rides along only when the scenario asks for it
+    store = None
+    if config.objstore is not None and config.objstore.write_fraction > 0.0:
+        from repro.objstore.dedup import DedupObjectStore
+
+        store = DedupObjectStore(
+            fleet, params=config.objstore.params(), replicas=config.objstore.replicas
+        )
     frontend = ServiceFrontend(
-        fleet, config.service, config.traffic, books, overload=config.overload
+        fleet, config.service, config.traffic, books,
+        overload=config.overload, objstore=store, objstore_config=config.objstore,
     )
     report = sim.run(sim.process(frontend.run()))
+    if store is not None:
+        report = replace(report, objstore=store.stats.to_payload())
     return report.to_payload()
 
 

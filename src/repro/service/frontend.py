@@ -43,9 +43,12 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Generator, Sequence
 
+import zlib
+
 from repro.cluster.fleet import StorageFleet
 from repro.config.schema import (
     ClosedLoopConfig,
+    ObjstoreConfig,
     OverloadConfig,
     ServiceConfig,
     TrafficConfig,
@@ -111,6 +114,8 @@ class ServiceFrontend:
         command_for: Callable[[BookFile, int], Command] = _default_command,
         closed_loop: ClosedLoopConfig | None = None,
         overload: OverloadConfig | None = None,
+        objstore=None,
+        objstore_config: ObjstoreConfig | None = None,
     ):
         if not books:
             raise ValueError("serving needs at least one staged book")
@@ -144,6 +149,21 @@ class ServiceFrontend:
         self._offers = 0
         self._wait_sum = 0.0
         self._wait_count = 0
+        # Objstore write mix: engaged only when a store is supplied AND the
+        # config asks for write traffic — every other run never touches this
+        # path, so legacy scorecards stay byte-identical.
+        self._objstore = objstore
+        self._write_fraction = (
+            objstore_config.write_fraction
+            if objstore is not None and objstore_config is not None
+            else 0.0
+        )
+        if self._objstore is not None and self._write_fraction > 0.0:
+            from repro.objstore.workload import generate_objects
+
+            self._write_payloads = generate_objects(objstore_config.spec())
+        else:
+            self._write_payloads = []
         if overload is not None:
             self.retry_budget = RetryBudget(
                 overload.retry_budget, overload.retry_budget_burst
@@ -288,6 +308,42 @@ class ServiceFrontend:
         if self._gated and self._arrivals_done and not self._queue:
             self._kick()
 
+    def _is_write(self, tenant: int) -> bool:
+        """Deterministic write-mix membership: the same stable-hash idiom as
+        :func:`assign_class`, salted so write tenants are independent of
+        priority class."""
+        if self._write_fraction <= 0.0:
+            return False
+        point = (zlib.crc32(f"write:{tenant}".encode()) & 0xFFFFFFFF) / 2**32
+        return point < self._write_fraction
+
+    def _serve_write(self, request: QueuedRequest, wait: float) -> Generator:
+        """One objstore PUT through the dedup store (the write request
+        class).  A committed PUT completes with path ``"objstore"``; a PUT
+        with no surviving replica target counts lost, like a read with no
+        surviving copy."""
+        from repro.objstore.store import ObjectStoreError
+
+        key = f"t{request.tenant}"
+        _, payload = self._write_payloads[request.tenant % len(self._write_payloads)]
+        try:
+            yield from self._objstore.put(key, payload)
+        except ObjectStoreError:
+            self.tracker.on_lost(request.class_name, at=self.sim.now)
+            self._finish(request, "lost")
+            return False
+        self.tracker.on_complete(
+            request.class_name,
+            request.tenant,
+            self.sim.now - request.admitted_at,
+            wait,
+            "objstore",
+            stale=request.abandoned,
+            at=self.sim.now,
+        )
+        self._finish(request, "completed")
+        return True
+
     def _worker(self, index: int) -> Generator:
         while True:
             if self._gated and index >= self._allowed:
@@ -305,6 +361,10 @@ class ServiceFrontend:
                 if self._codel is not None and self._codel.on_dequeue(now, wait):
                     self.tracker.on_drop(class_name, at=now)
                     self._finish(request, "dropped")
+                    self._drained_kick()
+                    continue
+                if self._is_write(request.tenant):
+                    yield from self._serve_write(request, wait)
                     self._drained_kick()
                     continue
                 book = self.books[request.tenant % len(self.books)]

@@ -79,6 +79,7 @@ class SloReport:
     aimd: dict | None = None  # concurrency governor trajectory
     goodput: dict | None = None  # windowed fresh-completion counts
     burn: tuple | None = None  # multi-window burn-rate alert evaluations
+    objstore: dict | None = None  # dedup-store byte accounting (write mix)
 
     @property
     def shed_total(self) -> int:
@@ -122,6 +123,8 @@ class SloReport:
                 "window_ms": round(self.goodput["window_ms"], 6),
                 "windows": list(self.goodput["windows"]),
             }
+        if self.objstore is not None:
+            payload["objstore"] = dict(sorted(self.objstore.items()))
         if self.burn is not None:
             payload["burn"] = [
                 {k: (round(v, 6) if isinstance(v, float) else v)

@@ -38,7 +38,14 @@ __all__ = [
 
 
 def reset_global_ids() -> None:
-    """Restart every process-global ID allocator (fresh-process state)."""
+    """Restart every process-global ID allocator (fresh-process state).
+
+    Also drops the process-wide codec payload memo: content addressing
+    keeps a warm cache *correct*, but a pool worker reusing it across jobs
+    grows memory unboundedly over a long matrix run and lets overhead
+    benches observe another job's warm-cache timings.
+    """
+    from repro.apps.compress import clear_payload_cache
     from repro.isos import process as isos_process
     from repro.nvme import commands as nvme_commands
     from repro.proto import entities
@@ -46,6 +53,7 @@ def reset_global_ids() -> None:
     entities.reset_ids()
     isos_process.reset_ids()
     nvme_commands.reset_ids()
+    clear_payload_cache()
 
 
 # -- canonical hashing ------------------------------------------------------

@@ -184,6 +184,21 @@ def test_sha1sum_matches_hashlib():
     put_file(sim, os_, "h.txt", TEXT)
     status, _ = drive(sim, os_.run("sha1sum h.txt"))
     assert status.stdout.split()[0].decode() == hashlib.sha1(TEXT).hexdigest()
+    # functional mode: a real digest, no analytic marker
+    assert "analytic" not in status.detail
+    assert status.detail["bytes"] == len(TEXT)
+
+
+def test_sha1sum_analytic_mode_is_marked_not_empty_file():
+    """Regression: with no payload flowing (analytic device) sha1sum used
+    to emit the same empty stdout an empty file produces; the detail
+    marker lets scorecards tell the two apart."""
+    sim, os_ = make_os(store_data=False)
+    put_file(sim, os_, "ghost.txt", None, size=4096)
+    status, _ = drive(sim, os_.run("sha1sum ghost.txt"))
+    assert status.code == 0
+    assert status.stdout == b""
+    assert status.detail == {"analytic": True, "bytes": 4096}
 
 
 def test_ls_lists_files_with_sizes():

@@ -165,3 +165,33 @@ def test_random_chaos_always_terminates_with_closed_accounting(seed):
     assert all(r is None for r, b in zip(report.responses, corpus) if b.name in report.lost)
     health = poll_health(fleet)
     assert health.lost_minions == len(report.lost)
+
+
+def test_second_corpus_staging_preserves_first_corpus_chains():
+    """Regression: ``stage_corpus`` used to rebuild the replica map from
+    scratch, wiping the chains of every previously staged corpus — so a
+    primary crash after staging a second corpus lost first-corpus minions
+    instead of failing over."""
+    from dataclasses import replace
+
+    fleet, first = build_fleet(replicas=2)
+    chains_before = {b.name: fleet.replica_targets(b.name) for b in first}
+    assert all(len(chain) == 2 for chain in chains_before.values())
+    second = [
+        replace(b, name=f"alt_{b.name}")
+        for b in BookCorpus(
+            CorpusSpec(files=4, mean_file_bytes=16 * 1024, seed=3)
+        ).generate()
+    ]
+    fleet.sim.run(fleet.sim.process(fleet.stage_corpus(second, replicas=2)))
+    # chains recorded by the first staging must survive the second, verbatim
+    for book in first:
+        assert fleet.replica_targets(book.name) == chains_before[book.name]
+    # and they must still be *live*: crash a first-corpus primary mid-job
+    victim = chains_before[first[0].name][0]
+    plan = FaultPlan().kill_device(*victim, at=fleet.sim.now + 2e-4)
+    FaultInjector.for_fleet(fleet, plan).start()
+    report = run_job(fleet, first)
+    assert report.lost == ()
+    assert report.failovers > 0
+    assert all(answered(r) for r in report.responses)

@@ -1,0 +1,121 @@
+"""Property-based tests for content-defined chunking (Gear rolling hash)."""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objstore import ChunkParams, Chunker, chunk_digests, chunk_spans
+
+PARAMS = ChunkParams(min_size=64, avg_size=256, max_size=1024)
+
+payloads = st.binary(min_size=0, max_size=16 * 1024)
+
+
+def lengths(data: bytes, params: ChunkParams = PARAMS) -> list[int]:
+    return [length for _, length in chunk_spans(data, params)]
+
+
+def test_empty_input_produces_no_chunks():
+    assert lengths(b"") == []
+    chunker = Chunker(PARAMS)
+    assert list(chunker.update(b"")) == []
+    assert chunker.finish() is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(payloads)
+def test_chunking_is_deterministic(data):
+    assert lengths(data) == lengths(data)
+    assert chunk_digests(data, PARAMS) == chunk_digests(data, PARAMS)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payloads)
+def test_chunks_cover_input_exactly(data):
+    spans = chunk_spans(data, PARAMS)
+    assert sum(length for _, length in spans) == len(data)
+    offset = 0
+    for start, length in spans:
+        assert start == offset
+        offset += length
+
+
+@settings(max_examples=60, deadline=None)
+@given(payloads)
+def test_chunk_sizes_respect_bounds(data):
+    sizes = lengths(data)
+    assert all(size <= PARAMS.max_size for size in sizes)
+    # every chunk but the (possibly short) final tail honours the floor
+    assert all(size >= PARAMS.min_size for size in sizes[:-1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(payloads, st.binary(min_size=0, max_size=4 * 1024))
+def test_concatenation_stable_at_chunk_boundaries(prefix, suffix):
+    """Splitting the stream at an emitted boundary never changes the chunks:
+    the rolling hash resets per chunk, so boundaries are self-synchronising."""
+    whole = lengths(prefix + suffix)
+    spans = chunk_spans(prefix, PARAMS)
+    if not spans:
+        return
+    # feed the data in two pieces split at the first boundary; the chunk
+    # sequence must match the one-shot pass byte for byte
+    cut = spans[0][1]
+    chunker = Chunker(PARAMS)
+    streamed = list(chunker.update((prefix + suffix)[:cut]))
+    streamed += list(chunker.update((prefix + suffix)[cut:]))
+    tail = chunker.finish()
+    if tail is not None:
+        streamed.append(tail)
+    assert streamed == whole
+
+
+@settings(max_examples=40, deadline=None)
+@given(payloads)
+def test_incremental_equals_one_shot_under_any_split(data):
+    one_shot = lengths(data)
+    for step in (1, 7, 101):
+        chunker = Chunker(PARAMS)
+        streamed = []
+        for start in range(0, len(data), step):
+            streamed.extend(chunker.update(data[start:start + step]))
+        tail = chunker.finish()
+        if tail is not None:
+            streamed.append(tail)
+        assert streamed == one_shot
+
+
+@settings(max_examples=40, deadline=None)
+@given(payloads)
+def test_digests_are_sha1_of_the_spans(data):
+    spans = chunk_spans(data, PARAMS)
+    digests = chunk_digests(data, PARAMS)
+    assert len(digests) == len(spans)
+    for (start, length), (digest, size) in zip(spans, digests):
+        assert size == length
+        assert digest == hashlib.sha1(data[start:start + length]).hexdigest()
+
+
+def test_shared_suffix_resynchronises():
+    """Prepending bytes only disturbs chunking near the edit: a long shared
+    suffix converges to identical chunk digests (what makes dedup work)."""
+    import random
+
+    rng = random.Random(7)
+    shared = bytes(rng.getrandbits(8) for _ in range(8 * 1024))
+    a = dict(chunk_digests(b"X" * 37 + shared, PARAMS))
+    b = dict(chunk_digests(shared, PARAMS))
+    common = set(a) & set(b)
+    assert sum(b[d] for d in common) > len(shared) // 2
+
+
+def test_params_validate_bounds():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ChunkParams(min_size=0, avg_size=256, max_size=1024)
+    with pytest.raises(ValueError):
+        ChunkParams(min_size=512, avg_size=256, max_size=1024)
+    with pytest.raises(ValueError):
+        ChunkParams(min_size=64, avg_size=2048, max_size=1024)

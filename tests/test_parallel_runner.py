@@ -72,6 +72,19 @@ def test_execute_job_normalises_tuples_to_lists():
     assert result.digest == payload_digest(result.value)
 
 
+def test_execute_job_clears_compress_blob_cache():
+    """Regression: the module-level payload memo in ``repro.apps.compress``
+    survived from one pool-worker job to the next, so a long matrix run
+    grew worker memory without bound and let warm-cache timing leak across
+    supposedly hermetic cells."""
+    from repro.apps import compress
+
+    compress._BLOB_CACHE[("gzip", b"sentinel")] = b"stale"
+    result = execute_job(ping_spec(1))
+    assert result.error is None
+    assert compress._BLOB_CACHE == {}
+
+
 def test_execute_job_captures_traceback_instead_of_raising():
     spec = JobSpec(name="kaboom", target="repro.parallel.selftest:boom",
                    kwargs={"message": "planned failure"})
