@@ -88,6 +88,39 @@ def test_sharded_events_per_sec_within_regression_budget():
     )
 
 
+def test_zoned_events_per_sec_within_regression_budget():
+    """The zoned (ZNS) backend's lane, guarded the same way.
+
+    The zoned FTL replaces per-page GC with whole-zone copy-forward, so its
+    schedule — and therefore its event count — differs from the page lane;
+    this guard pins that schedule and its wall-clock rate independently.
+    """
+    baseline = load_bench_json()
+    if baseline is None:
+        pytest.skip("no BENCH_sim.json baseline recorded (run: python -m repro bench)")
+    recorded = baseline["scenarios"].get("zoned-n8")
+    if recorded is None:
+        pytest.skip("baseline has no 'zoned-n8' scenario; re-record with "
+                    "python -m repro bench --scenario zoned-n8")
+
+    floor = recorded["events_per_sec"] * REGRESSION_FLOOR
+    result = run_scenario(SCENARIOS["zoned-n8"], repeat=2)
+    # Determinism cross-check: the zoned schedule must replay the recorded
+    # event count exactly before the rate comparison means anything.
+    assert result.events == recorded["events"], (
+        f"zoned event count drifted ({result.events} vs {recorded['events']}): "
+        f"the schedule changed, so events/sec is not comparable — re-record "
+        f"the baseline and explain the drift"
+    )
+    if result.events_per_sec < floor:
+        result = run_scenario(SCENARIOS["zoned-n8"], repeat=4)
+    assert result.events_per_sec >= floor, (
+        f"zoned backend throughput regressed: {result.events_per_sec:,.0f} "
+        f"events/s vs baseline {recorded['events_per_sec']:,.0f} "
+        f"(floor {floor:,.0f})"
+    )
+
+
 def test_shard_overhead_ratio_is_bounded():
     """Sync rounds must stay cheap relative to the monolithic heap.
 

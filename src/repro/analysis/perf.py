@@ -68,6 +68,11 @@ class BenchScenario:
     and only the synchronized round loop (``ShardRun.execute``) is timed.
     ``shards == 0`` is the legacy monolithic path, byte-identical to the
     scenarios recorded before sharding existed.
+
+    ``device_backend`` selects the translation backend (``backend`` already
+    names the *shard execution* backend); ``"page"`` leaves the scenario's
+    ``device`` section unset, keeping pre-backend configs — and their
+    digests — byte-identical.
     """
 
     name: str
@@ -78,6 +83,7 @@ class BenchScenario:
     shards: int = 0
     backend: str = "sequential"
     window_us: float = 0.0
+    device_backend: str = "page"
 
     @property
     def files(self) -> int:
@@ -104,6 +110,12 @@ class BenchScenario:
                     backend=self.backend,
                     window_us=self.window_us,
                 ),
+            )
+        if self.device_backend != "page":
+            from repro.config.schema import DeviceBackendConfig
+
+            base = replace(
+                base, device=DeviceBackendConfig(backend=self.device_backend)
             )
         return replace(
             base,
@@ -181,6 +193,7 @@ SCENARIOS: dict[str, BenchScenario] = {
     "n64": BenchScenario("n64", devices=64),
     "n16-shard": BenchScenario("n16-shard", devices=16, shards=4),
     "n64-shard": BenchScenario("n64-shard", devices=64, shards=8),
+    "zoned-n8": BenchScenario("zoned-n8", devices=8, device_backend="zoned"),
 }
 
 

@@ -36,6 +36,7 @@ from typing import Sequence
 from repro.analysis.experiments import format_series_table
 from repro.analysis.figures import FIG8_APPS, Fig1Row, Fig8Row, fig6_linearity
 from repro.baselines import table1_rows
+from repro.config import DEVICE_BACKENDS
 from repro.config.cli import (
     add_config_subparser,
     add_scenario_args,
@@ -212,11 +213,22 @@ def _cmd_table1(_args: argparse.Namespace) -> None:
 
 
 def _cmd_smart(args: argparse.Namespace) -> None:
-    """Run a small workload, then dump the drive's SMART health log."""
-    from repro.cluster import StorageNode
+    """Run a small workload, then dump the drive's SMART/health log.
+
+    Scenario-driven so the device under inspection can be any registered
+    backend (``--set device.backend=zoned``); the health attributes come
+    from the backend-agnostic ``health_stats()`` surface.
+    """
+    from dataclasses import replace
+
+    from repro.config import build_node
     from repro.workloads import BookCorpus, CorpusSpec
 
-    node = StorageNode.build(devices=1, device_capacity=32 * 1024 * 1024)
+    config, _ = _scenario_payload(args)
+    config = replace(
+        config, fleet=replace(config.fleet, devices_per_node=1), sharding=None
+    )
+    node = build_node(config)
     sim = node.sim
     books = BookCorpus(CorpusSpec(files=args.files, mean_file_bytes=64 * 1024)).generate()
     sim.run(sim.process(node.stage_corpus(books, compressed=False)))
@@ -623,6 +635,69 @@ def _cmd_objstore(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_backends(args: argparse.Namespace) -> None:
+    """Compare device backends on a pinned cell set (same scenario, same
+    apps, same device count per cell) and print a per-backend scorecard.
+
+    The device backend must never change what a minion computes, so the
+    verb *fails* (exit 1) if any app's minion output digest differs across
+    backends; the throughput/GC/zone columns then isolate what the backend
+    does change.  Cells are hermetic matrix jobs — they shard across
+    ``--workers`` and cache — and the trailing scorecard digest is the
+    byte-stable identity CI pins.  Table I rows are printed first for
+    context: the comparison is between *device backends of this prototype*,
+    not between the systems the paper surveys.
+    """
+    from repro.parallel import backends_jobs, payload_digest
+
+    _, payload = _scenario_payload(args)
+    backends = tuple(args.backends)
+    apps = tuple(args.apps)
+    report = _run_matrix(
+        backends_jobs(backends, payload, apps=apps, devices=args.devices), args
+    )
+    values = report.values()
+    print(format_series_table(
+        "Table I context (architectural approaches)",
+        ["system", "compute", "os", "apps", "interface"],
+        table1_rows(),
+    ))
+    rows = [
+        [
+            value["backend"], value["app"], value["devices"], value["minions"],
+            f"{value['throughput_mb_s']:.3f}", value["gc_collections"],
+            f"{value['write_amplification']:.4f}",
+            value["zones"]["resets"] if "zones" in value else "-",
+            value["zones"]["retired"] if "zones" in value else "-",
+            value["output_digest"],
+        ]
+        for value in values
+    ]
+    print(format_series_table(
+        "backend scorecard (identical workload per backend)",
+        ["backend", "app", "devices", "minions", "MB/s", "GC",
+         "WA", "resets", "retired", "output digest"],
+        rows,
+    ))
+    for backend in backends:
+        cells = [value for value in values if value["backend"] == backend]
+        print(f"{backend} digest={payload_digest(cells)}")
+    print(f"scorecard digest={payload_digest(values)}")
+    failures = []
+    for app in apps:
+        digests = {
+            value["output_digest"] for value in values if value["app"] == app
+        }
+        if len(digests) > 1:
+            failures.append(
+                f"{app}: minion output differs across backends ({sorted(digests)})"
+            )
+    if failures:
+        for failure in failures:
+            print(f"backends failed: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+
+
 def _cmd_metrics(args: argparse.Namespace) -> None:
     """Run a workload with full observability on; dump every export surface.
 
@@ -844,6 +919,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("smart", help="device SMART/health log after a workload")
     p.add_argument("--files", type=int, default=4)
+    add_scenario_args(p, default_preset="smoke")
     p.set_defaults(func=_cmd_smart)
 
     p = sub.add_parser("fleet", help="fleet weak-scaling sweep")
@@ -915,6 +991,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_objstore)
 
     p = sub.add_parser(
+        "backends",
+        help="device-backend comparison (page vs zoned; minion outputs "
+             "must match across backends)",
+    )
+    p.add_argument(
+        "--backends", nargs="+", default=list(DEVICE_BACKENDS),
+        choices=list(DEVICE_BACKENDS),
+        help="device backends to compare, one cell set each",
+    )
+    p.add_argument(
+        "--apps", nargs="+", default=["grep", "gzip"],
+        choices=["grep", "gawk", "gzip", "bzip2"],
+        help="apps to run per backend; outputs are digested per app",
+    )
+    p.add_argument("--devices", type=int, default=2,
+                   help="CompStors per cell (weak scaling: files scale with it)")
+    _add_parallel_args(p)
+    add_scenario_args(p, default_preset="smoke")
+    p.set_defaults(func=_cmd_backends)
+
+    p = sub.add_parser(
         "shard",
         help="sharded scale-out run (conservative time sync; digests must "
              "match at every shard count)",
@@ -942,7 +1039,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="simulator wall-clock perf harness")
     p.add_argument("--scenario", nargs="+", default=None,
                    choices=["small", "n1", "n4", "n8", "n16", "n64",
-                            "n16-shard", "n64-shard"],
+                            "n16-shard", "n64-shard", "zoned-n8"],
                    help="pinned scenarios to run (default: n1 n4 n8)")
     p.add_argument("--repeat", type=int, default=3,
                    help="repetitions per scenario; fastest run is kept")

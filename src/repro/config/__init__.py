@@ -39,8 +39,10 @@ from repro.config.factory import (
 from repro.config.overrides import apply_overrides, parse_assignments
 from repro.config.presets import PRESETS, preset, preset_names
 from repro.config.schema import (
+    DEVICE_BACKENDS,
     BurnWindowConfig,
     ClosedLoopConfig,
+    DeviceBackendConfig,
     FaultSpec,
     FaultsConfig,
     FlashConfig,
@@ -59,6 +61,8 @@ __all__ = [
     "BurnWindowConfig",
     "ClosedLoopConfig",
     "ConfigError",
+    "DEVICE_BACKENDS",
+    "DeviceBackendConfig",
     "FaultSpec",
     "FaultsConfig",
     "FlashConfig",

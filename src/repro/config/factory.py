@@ -104,6 +104,7 @@ def build_device(
         ftl_config=config.ftl,
         ecc_config=config.ecc,
         nvme_config=config.nvme,
+        device_config=config.device,
         cpu_spec=resolve_cpu(config.isps.cpu),
         tracer=tracer,
         metrics=metrics,
@@ -171,6 +172,7 @@ def build_node(
             ftl_config=config.ftl,
             ecc_config=config.ecc,
             nvme_config=config.nvme,
+            device_config=config.device,
             cpu_spec=cpu_spec,
             tracer=tracer,
             metrics=metrics,
@@ -189,6 +191,7 @@ def build_node(
             ftl_config=config.ftl,
             ecc_config=config.ecc,
             nvme_config=config.nvme,
+            device_config=config.device,
             tracer=tracer,
             metrics=metrics,
         )

@@ -32,14 +32,16 @@ from dataclasses import dataclass, field, fields, replace
 from repro.ecc import EccConfig
 from repro.faults.retry import BreakerConfig, RetryPolicy
 from repro.flash import FlashGeometry
-from repro.ftl import FtlConfig
+from repro.ftl import DEVICE_BACKENDS, FtlConfig
 from repro.workloads import CorpusSpec
 
 __all__ = [
     "DEFAULT_BURN_WINDOWS",
     "DEFAULT_PRIORITY_CLASSES",
+    "DEVICE_BACKENDS",
     "BurnWindowConfig",
     "ClosedLoopConfig",
+    "DeviceBackendConfig",
     "FaultSpec",
     "FaultsConfig",
     "FlashConfig",
@@ -607,6 +609,33 @@ class ShardingConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class DeviceBackendConfig:
+    """The translation backend every device in the scenario is built on.
+
+    ``backend`` names an entry in the :mod:`repro.ftl.backend` registry
+    (``page`` is the historical page-mapped FTL, ``zoned`` the ZNS-style
+    backend); the remaining knobs only apply to the zoned backend.
+    ``zone_blocks`` is the number of whole erase blocks per zone and
+    ``max_open_zones`` the host append parallelism.
+    """
+
+    backend: str = "page"
+    zone_blocks: int = 4
+    max_open_zones: int = 4
+
+    def __post_init__(self) -> None:
+        if self.backend not in DEVICE_BACKENDS:
+            raise ValueError(
+                f"unknown device backend {self.backend!r}; "
+                f"use {', '.join(DEVICE_BACKENDS)}"
+            )
+        if self.zone_blocks < 1:
+            raise ValueError("zone_blocks must be >= 1")
+        if self.max_open_zones < 1:
+            raise ValueError("max_open_zones must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
 class ObsConfig:
     """Observability toggles (both default off: zero-overhead scenarios)."""
 
@@ -664,6 +693,9 @@ class ScenarioConfig:
         default=None, metadata={"omit_if_none": True}
     )
     objstore: ObjstoreConfig | None = field(
+        default=None, metadata={"omit_if_none": True}
+    )
+    device: DeviceBackendConfig | None = field(
         default=None, metadata={"omit_if_none": True}
     )
 

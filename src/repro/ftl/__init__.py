@@ -21,15 +21,24 @@ originates.
 """
 
 from repro.ftl.allocator import BlockAllocator, OutOfSpaceError
+from repro.ftl.backend import (
+    DEVICE_BACKENDS,
+    TranslationBackend,
+    backend_factory,
+    create_backend,
+    register_backend,
+)
 from repro.ftl.ftl import FlashTranslationLayer, FtlConfig, LogicalIOError
 from repro.ftl.gc import CostBenefitPolicy, GarbageCollector, GcPolicy, GreedyPolicy
 from repro.ftl.mapping import PageMap
 from repro.ftl.scrubber import PatrolScrubber
 from repro.ftl.write_buffer import WriteBuffer
+from repro.ftl.zoned import ZonedFtl, ZoneState
 
 __all__ = [
     "BlockAllocator",
     "CostBenefitPolicy",
+    "DEVICE_BACKENDS",
     "FlashTranslationLayer",
     "FtlConfig",
     "GarbageCollector",
@@ -39,5 +48,11 @@ __all__ = [
     "OutOfSpaceError",
     "PageMap",
     "PatrolScrubber",
+    "TranslationBackend",
     "WriteBuffer",
+    "ZoneState",
+    "ZonedFtl",
+    "backend_factory",
+    "create_backend",
+    "register_backend",
 ]

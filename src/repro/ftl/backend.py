@@ -1,0 +1,195 @@
+"""Pluggable translation backends: the interface and the registry.
+
+The device stack (``repro.ssd``) historically hard-wired the page-mapped
+:class:`~repro.ftl.ftl.FlashTranslationLayer`.  Everything above the FTL —
+the NVMe controller, the ISPS flash access driver, the staging and objstore
+paths — only ever used a narrow surface of it, captured here as the
+:class:`TranslationBackend` protocol:
+
+- logical page I/O: ``read`` / ``write`` / ``trim`` / ``flush`` (simulation
+  generators);
+- capacity: ``logical_pages`` / ``page_size`` / ``logical_capacity_bytes``;
+- accounting: ``host_reads`` / ``host_writes`` / ``uncorrectable_reads``,
+  ``write_amplification()`` and the free-form ``stats()`` dict;
+- health: ``health_stats()`` — the backend-agnostic spare/bad/GC/scrub
+  counters SMART and fleet telemetry aggregate (previously read off
+  concrete page-FTL attributes, which made any other backend silently
+  report zeros);
+- fault hooks: the raw ``flash`` array stays reachable, so media-level
+  fault injection (``mark_block_failed``, error-model tweaks) works against
+  any backend.
+
+Backends register here by name; :func:`create_backend` is the single
+construction funnel the device assembly uses.  The ``page`` backend is the
+default and its construction path is byte-identical to the historical
+direct instantiation, so golden schedules and preset digests are unchanged
+unless a scenario explicitly selects another backend.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Generator,
+    Protocol,
+    runtime_checkable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.ecc import EccEngine
+    from repro.flash.package import FlashArray
+    from repro.ftl.ftl import FtlConfig
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim import Simulator, Tracer
+
+__all__ = [
+    "DEVICE_BACKENDS",
+    "TranslationBackend",
+    "backend_factory",
+    "create_backend",
+    "register_backend",
+]
+
+#: Backend names a scenario's ``device.backend`` knob may select.
+DEVICE_BACKENDS: tuple[str, ...] = ("page", "zoned")
+
+
+@runtime_checkable
+class TranslationBackend(Protocol):
+    """The contract every translation backend satisfies.
+
+    A backend is a logical page device over a :class:`~repro.flash.package.
+    FlashArray` plus :class:`~repro.ecc.EccEngine`; all I/O methods are
+    simulation generators.  ``flash`` stays exposed deliberately: media
+    models, wear counters, and fault hooks live there and are
+    backend-independent.
+    """
+
+    name: str
+    logical_pages: int
+    host_reads: int
+    host_writes: int
+    uncorrectable_reads: int
+
+    @property
+    def page_size(self) -> int: ...
+
+    @property
+    def logical_capacity_bytes(self) -> int: ...
+
+    def read(self, lpn: int) -> Generator: ...
+
+    def write(self, lpn: int, data: bytes | None) -> Generator: ...
+
+    def trim(self, lpns: "list[int] | range") -> Generator: ...
+
+    def flush(self) -> Generator: ...
+
+    def write_amplification(self) -> float: ...
+
+    def stats(self) -> dict[str, float]: ...
+
+    def health_stats(self) -> dict[str, float]: ...
+
+
+#: ``factory(sim, flash, ecc, config=..., name=..., tracer=..., metrics=...,
+#: **backend_knobs) -> TranslationBackend``
+BackendFactory = Callable[..., "TranslationBackend"]
+
+_REGISTRY: dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register (or replace) a backend constructor under ``name``."""
+    _REGISTRY[name] = factory
+
+
+def _page_backend(
+    sim: "Simulator",
+    flash: "FlashArray",
+    ecc: "EccEngine",
+    *,
+    config: "FtlConfig | None" = None,
+    name: str = "ftl",
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> "TranslationBackend":
+    from repro.ftl.ftl import FlashTranslationLayer
+
+    return FlashTranslationLayer(
+        sim, flash, ecc, config=config, name=name, tracer=tracer, metrics=metrics
+    )
+
+
+def _zoned_backend(
+    sim: "Simulator",
+    flash: "FlashArray",
+    ecc: "EccEngine",
+    *,
+    config: "FtlConfig | None" = None,
+    name: str = "ftl",
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    zone_blocks: int = 4,
+    max_open_zones: int = 4,
+) -> "TranslationBackend":
+    from repro.ftl.zoned import ZonedFtl
+
+    return ZonedFtl(
+        sim,
+        flash,
+        ecc,
+        config=config,
+        zone_blocks=zone_blocks,
+        max_open_zones=max_open_zones,
+        name=name,
+        tracer=tracer,
+        metrics=metrics,
+    )
+
+
+def _ensure_defaults() -> None:
+    # Lazy registration keeps this module import-cheap and cycle-free: the
+    # concrete backends import back into repro.ftl.
+    if "page" not in _REGISTRY:
+        _REGISTRY["page"] = _page_backend
+    if "zoned" not in _REGISTRY:
+        _REGISTRY["zoned"] = _zoned_backend
+
+
+def backend_factory(name: str) -> BackendFactory:
+    """The registered constructor for ``name`` (raises on unknown)."""
+    _ensure_defaults()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown device backend {name!r}; use {sorted(_REGISTRY)}"
+        ) from None
+
+
+def create_backend(
+    backend: str,
+    sim: "Simulator",
+    flash: "FlashArray",
+    ecc: "EccEngine",
+    *,
+    config: "FtlConfig | None" = None,
+    name: str = "ftl",
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    **knobs: Any,
+) -> "TranslationBackend":
+    """Build the named backend over an existing flash array + ECC engine.
+
+    ``knobs`` are backend-specific (the zoned backend takes ``zone_blocks``
+    and ``max_open_zones``); the page backend takes none, so passing knobs
+    with ``backend="page"`` is an error rather than a silent ignore.
+    """
+    factory = backend_factory(backend)
+    return factory(
+        sim, flash, ecc, config=config, name=name, tracer=tracer,
+        metrics=metrics, **knobs,
+    )

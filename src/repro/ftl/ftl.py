@@ -467,6 +467,17 @@ class FlashTranslationLayer:
         return len(best)
 
     # -- reporting -------------------------------------------------------------
+    def health_stats(self) -> dict[str, float]:
+        """Backend-agnostic health counters (the
+        :class:`~repro.ftl.backend.TranslationBackend` surface SMART and
+        fleet telemetry aggregate)."""
+        return {
+            "available_spare": self.allocator.free_blocks,
+            "bad_blocks": len(self.allocator.retired),
+            "gc_collections": self.gc.collections,
+            "scrub_refreshes": self.scrubber.blocks_refreshed,
+        }
+
     def stats(self) -> dict[str, float]:
         return {
             "host_reads": self.host_reads,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Generator, Protocol, runtime_checkable
 
-from repro.ftl import FlashTranslationLayer
+from repro.ftl import TranslationBackend
 from repro.nvme.commands import NvmeCommand, Opcode
 from repro.nvme.queues import QueuePair
 from repro.sim import Simulator
@@ -49,7 +49,7 @@ class FlashAccessDevice:
     command + DMA costs.
     """
 
-    def __init__(self, sim: Simulator, ftl: FlashTranslationLayer, driver_latency: float = 2e-6):
+    def __init__(self, sim: Simulator, ftl: TranslationBackend, driver_latency: float = 2e-6):
         self.sim = sim
         self.ftl = ftl
         self.driver_latency = driver_latency

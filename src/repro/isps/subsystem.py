@@ -14,7 +14,7 @@ from typing import Callable
 from repro.analysis.calibration import ARM_ISA
 from repro.cpu.core import CpuCluster, CpuSpec
 from repro.cpu.models import ARM_A53_QUAD, resolve_cpu
-from repro.ftl import FlashTranslationLayer
+from repro.ftl import TranslationBackend
 from repro.isos.blockdev import FlashAccessDevice
 from repro.isos.filesystem import ExtentFileSystem
 from repro.isos.loader import ExecutableRegistry
@@ -30,7 +30,7 @@ class InSituProcessingSubsystem:
     def __init__(
         self,
         sim: Simulator,
-        ftl: FlashTranslationLayer,
+        ftl: TranslationBackend,
         registry: ExecutableRegistry,
         spec: CpuSpec | str = ARM_A53_QUAD,
         name: str = "isps",

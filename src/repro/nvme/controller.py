@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator
 
 from repro.faults.state import AgentUnavailable
-from repro.ftl import FlashTranslationLayer, LogicalIOError
+from repro.ftl import LogicalIOError, TranslationBackend
 from repro.nvme.commands import NvmeCommand, NvmeCompletion, Opcode, Status
 from repro.nvme.queues import QueuePair
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
@@ -35,7 +35,9 @@ class NvmeController:
     Parameters
     ----------
     sim, ftl:
-        Simulator and the backing translation layer.
+        Simulator and the backing translation layer — any
+        :class:`~repro.ftl.TranslationBackend` (the controller never touches
+        backend-specific internals).
     port:
         PCIe attachment; ``None`` models a direct-attached loopback (used in
         unit tests) with zero-cost DMA.
@@ -55,7 +57,7 @@ class NvmeController:
     def __init__(
         self,
         sim: Simulator,
-        ftl: FlashTranslationLayer,
+        ftl: TranslationBackend,
         port: PciePort | None = None,
         queue_pairs: int = 1,
         queue_depth: int = 64,
@@ -308,6 +310,11 @@ class NvmeController:
         flash = self.ftl.flash
         pe = flash.pe_cycles
         rated = flash.error_model.pe_rated
+        # Spare/bad/GC/scrub counters go through the backend-agnostic
+        # health surface: a zoned backend has no block allocator or patrol
+        # scrubber, and reading concrete page-FTL attributes here would
+        # silently report zeros for it.
+        health = self.ftl.health_stats()
         return {
             "media_errors": self.ftl.uncorrectable_reads,
             "data_units_read": flash.stats.bytes_read // 512000 or 0,
@@ -317,10 +324,10 @@ class NvmeController:
             "write_amplification": self.ftl.write_amplification(),
             "percentage_used": min(100, int(100 * float(pe.mean()) / rated)),
             "max_pe_cycles": int(pe.max()),
-            "available_spare": self.ftl.allocator.free_blocks,
-            "bad_blocks": len(self.ftl.allocator.retired),
-            "gc_collections": self.ftl.gc.collections,
-            "scrub_refreshes": self.ftl.scrubber.blocks_refreshed,
+            "available_spare": health["available_spare"],
+            "bad_blocks": health["bad_blocks"],
+            "gc_collections": health["gc_collections"],
+            "scrub_refreshes": health["scrub_refreshes"],
             "latency": self.latency_stats(),
         }
 

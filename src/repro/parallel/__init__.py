@@ -29,6 +29,7 @@ from repro.parallel.jobs import (
 )
 from repro.parallel.matrix import (
     ablation_jobs,
+    backends_jobs,
     bench_jobs,
     drill_jobs,
     fig1_jobs,
@@ -51,6 +52,7 @@ __all__ = [
     "ResultCache",
     "RunReport",
     "ablation_jobs",
+    "backends_jobs",
     "bench_jobs",
     "canonical_json",
     "code_digest",

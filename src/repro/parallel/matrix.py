@@ -19,6 +19,7 @@ from repro.parallel.jobs import JobSpec, repo_root
 
 __all__ = [
     "ablation_jobs",
+    "backends_jobs",
     "bench_jobs",
     "drill_jobs",
     "fig1_jobs",
@@ -122,6 +123,32 @@ def fig8_jobs(apps: Sequence[str], scenario: dict | None = None) -> list[JobSpec
             target="repro.analysis.figures:fig8_cell",
             kwargs={"app": app, **_scenario_kwargs(scenario)},
         )
+        for app in apps
+    ]
+
+
+def backends_jobs(
+    backends: Sequence[str] = ("page", "zoned"),
+    scenario: dict | None = None,
+    apps: Sequence[str] = ("grep", "gzip"),
+    devices: int = 2,
+) -> list[JobSpec]:
+    """One comparison cell per ``(backend, app)`` on a pinned device count.
+
+    The cell set is the ``backends`` verb's scorecard: every backend runs
+    the identical workload, so cross-backend ``output_digest`` equality is
+    an invariant and the throughput/GC columns isolate the backend.
+    """
+    return [
+        JobSpec(
+            name=f"backends.{backend}.{app}.n{devices}",
+            target="repro.analysis.backends:backend_cell",
+            kwargs={
+                "backend": backend, "app": app, "devices": devices,
+                **_scenario_kwargs(scenario),
+            },
+        )
+        for backend in backends
         for app in apps
     ]
 

@@ -34,7 +34,7 @@ from repro.sim import Simulator, Tracer
 from repro.ssd.conventional import ConventionalSSD, small_geometry
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids a config cycle)
-    from repro.config.schema import NvmeConfig
+    from repro.config.schema import DeviceBackendConfig, NvmeConfig
 
 __all__ = ["CompStorSSD", "PROTOTYPE_CAPACITY_BYTES", "prototype_geometry"]
 
@@ -62,6 +62,7 @@ class CompStorSSD(ConventionalSSD):
         ftl_config: FtlConfig | None = None,
         ecc_config: EccConfig | None = None,
         nvme_config: "NvmeConfig | None" = None,
+        device_config: "DeviceBackendConfig | None" = None,
         cpu_spec: CpuSpec | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
@@ -76,6 +77,7 @@ class CompStorSSD(ConventionalSSD):
             ftl_config=ftl_config,
             ecc_config=ecc_config,
             nvme_config=nvme_config,
+            device_config=device_config,
             tracer=tracer,
             metrics=metrics,
         )

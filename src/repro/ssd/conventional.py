@@ -7,7 +7,7 @@ from typing import TYPE_CHECKING
 from repro.analysis.calibration import DEVICE_CONTROLLER_W
 from repro.ecc import EccConfig, EccEngine
 from repro.flash import FlashArray, FlashGeometry
-from repro.ftl import FlashTranslationLayer, FtlConfig
+from repro.ftl import FtlConfig, create_backend
 from repro.nvme import NvmeController
 from repro.obs.metrics import MetricsRegistry
 from repro.pcie.switch import PciePort
@@ -15,7 +15,7 @@ from repro.power import PowerMeter
 from repro.sim import Simulator, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids a config cycle)
-    from repro.config.schema import NvmeConfig
+    from repro.config.schema import DeviceBackendConfig, NvmeConfig
 
 __all__ = ["ConventionalSSD", "small_geometry"]
 
@@ -47,6 +47,7 @@ class ConventionalSSD:
         ftl_config: FtlConfig | None = None,
         ecc_config: EccConfig | None = None,
         nvme_config: "NvmeConfig | None" = None,
+        device_config: "DeviceBackendConfig | None" = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
     ):
@@ -63,9 +64,22 @@ class ConventionalSSD:
             tracer=tracer,
         )
         self.ecc = EccEngine(sim, ecc_config, name=f"{name}.ecc", energy_sink=sink)
-        self.ftl = FlashTranslationLayer(
-            sim, self.flash, self.ecc, config=ftl_config, name=f"{name}.ftl",
-            tracer=tracer, metrics=metrics,
+        # ``device_config`` selects the translation backend from the
+        # registry; None (and an explicit default ``page``) constructs the
+        # historical page-mapped FTL with byte-identical arguments, so
+        # golden schedules are unchanged for default scenarios.
+        backend = "page" if device_config is None else device_config.backend
+        knobs = (
+            {}
+            if device_config is None or backend == "page"
+            else {
+                "zone_blocks": device_config.zone_blocks,
+                "max_open_zones": device_config.max_open_zones,
+            }
+        )
+        self.ftl = create_backend(
+            backend, sim, self.flash, self.ecc, config=ftl_config,
+            name=f"{name}.ftl", tracer=tracer, metrics=metrics, **knobs,
         )
         # NvmeConfig's defaults mirror the controller's, so None and a
         # default-constructed config build identical front ends

@@ -1,0 +1,80 @@
+"""Device backends must be invisible to minion computation.
+
+The same staged corpus and the same commands run once against the
+page-mapped FTL and once against the zoned (ZNS) backend: every minion's
+status and stdout must match byte for byte.  The backend is a *storage*
+axis — it changes where pages land, how GC reclaims space, and therefore
+timing — but never *what* is computed.  The scorecard digests the
+``backends`` verb prints are pinned in ``tests/golden_backend_digests.txt``
+so CI notices when either backend's observable behaviour moves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.backends import BACKEND_APPS, backend_cell
+from repro.parallel import payload_digest
+
+GOLDEN_PATH = Path(__file__).parent / "golden_backend_digests.txt"
+BACKENDS = ("page", "zoned")
+
+
+@pytest.fixture(scope="module")
+def cells():
+    """All comparison cells on the default smoke scenario, verb order."""
+    return [
+        backend_cell(backend, app)
+        for backend in BACKENDS
+        for app in BACKEND_APPS
+    ]
+
+
+def _by(cells, backend, app):
+    return next(c for c in cells if c["backend"] == backend and c["app"] == app)
+
+
+def test_minion_results_are_backend_independent(cells):
+    for app in BACKEND_APPS:
+        page = _by(cells, "page", app)
+        zoned = _by(cells, "zoned", app)
+        assert page["minions"] == zoned["minions"]
+        assert page["output_digest"] == zoned["output_digest"], (
+            f"{app}: minion output depends on the device backend"
+        )
+
+
+def test_zoned_cells_report_zone_telemetry(cells):
+    for app in BACKEND_APPS:
+        zoned = _by(cells, "zoned", app)
+        zones = zoned["zones"]
+        assert zones["per_device"] >= 3
+        assert zones["resets"] >= 0 and zones["retired"] == 0
+        assert "zones" not in _by(cells, "page", app)
+
+
+def test_backend_cell_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown device backend"):
+        backend_cell("hybrid", "grep")
+
+
+def test_scorecard_digests_match_golden(cells):
+    """Recompute the ``backends`` verb's digest lines and diff the golden.
+
+    The golden file is the exact trailing digest lines of
+    ``python -m repro backends`` on the default smoke cell set; re-pin it
+    (and explain the drift) whenever backend-observable behaviour changes.
+    """
+    lines = [
+        f"{backend} digest="
+        + payload_digest([c for c in cells if c["backend"] == backend])
+        for backend in BACKENDS
+    ]
+    lines.append(f"scorecard digest={payload_digest(cells)}")
+    golden = GOLDEN_PATH.read_text().splitlines()
+    assert lines == golden, (
+        "backend scorecard digests drifted from tests/golden_backend_digests.txt; "
+        "re-pin with: python -m repro backends (trailing digest lines)"
+    )

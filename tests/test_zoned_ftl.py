@@ -1,0 +1,493 @@
+"""Unit and property tests for the zoned (ZNS-style) translation backend.
+
+The properties named by the backend contract:
+
+- **write-pointer monotonicity per zone** — a zone's pointer only ever
+  advances between resets; any decrease coincides with a reset (host or GC);
+- **read-after-write across resets** — the device agrees with a dict oracle
+  through arbitrary write/read/trim/flush/reset interleavings;
+- **copy-forward preserves live data** — GC churn never changes what a
+  mapped logical page reads back;
+- **append never overwrites** — the NAND array raises ``FlashOpError`` on
+  any reprogram or out-of-order program, so a clean run under concurrent
+  appends *is* the proof.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import CodewordLayout, EccConfig, EccEngine
+from repro.flash import BitErrorModel, FlashArray, FlashGeometry
+from repro.ftl import FtlConfig, LogicalIOError, ZonedFtl, ZoneState, create_backend
+from repro.sim import Simulator
+
+GEO = FlashGeometry(
+    channels=2, dies_per_channel=2, planes_per_die=1, blocks_per_plane=6,
+    pages_per_block=8, page_size=2048,
+)
+
+CONFIG = FtlConfig(op_ratio=0.34, write_buffer_pages=4)
+
+
+def make_zoned(sim=None, geometry=GEO, config=CONFIG, zone_blocks=2,
+               max_open_zones=2, rber0=1e-9, **flash_kw):
+    sim = sim or Simulator(seed=7)
+    flash = FlashArray(
+        sim, geometry=geometry, error_model=BitErrorModel(rber0=rber0), **flash_kw
+    )
+    layout = CodewordLayout(data_bytes=min(2048, geometry.page_size))
+    ecc = EccEngine(sim, EccConfig(layout=layout))
+    ftl = ZonedFtl(sim, flash, ecc, config=config,
+                   zone_blocks=zone_blocks, max_open_zones=max_open_zones)
+    return sim, ftl
+
+
+def drive(sim, gen):
+    return sim.run(sim.process(gen))
+
+
+# -- basics -----------------------------------------------------------------
+
+
+def test_write_read_roundtrip():
+    sim, ftl = make_zoned()
+
+    def flow():
+        yield from ftl.write(0, b"alpha")
+        yield from ftl.flush()
+        return (yield from ftl.read(0))
+
+    assert drive(sim, flow()) == b"alpha"
+
+
+def test_read_unwritten_page_returns_none():
+    sim, ftl = make_zoned()
+
+    def flow():
+        return (yield from ftl.read(5))
+
+    assert drive(sim, flow()) is None
+
+
+def test_buffered_read_hit_before_flush():
+    sim, ftl = make_zoned()
+
+    def flow():
+        yield from ftl.write(1, b"buffered")
+        return (yield from ftl.read(1))
+
+    assert drive(sim, flow()) == b"buffered"
+    assert ftl.buffer_read_hits == 1
+
+
+def test_overwrite_returns_latest():
+    sim, ftl = make_zoned()
+
+    def flow():
+        for value in (b"v1", b"v2", b"v3"):
+            yield from ftl.write(4, value)
+            yield from ftl.flush()
+        return (yield from ftl.read(4))
+
+    assert drive(sim, flow()) == b"v3"
+
+
+def test_trim_unmaps_and_reads_none():
+    sim, ftl = make_zoned()
+
+    def flow():
+        yield from ftl.write(2, b"doomed")
+        yield from ftl.flush()
+        yield from ftl.trim([2])
+        return (yield from ftl.read(2))
+
+    assert drive(sim, flow()) is None
+
+
+def test_out_of_range_lpn_rejected():
+    sim, ftl = make_zoned()
+    with pytest.raises(ValueError):
+        drive(sim, ftl.read(ftl.logical_pages))
+    with pytest.raises(ValueError):
+        drive(sim, ftl.write(-1, b"x"))
+
+
+def test_construction_validation():
+    sim = Simulator()
+    flash = FlashArray(sim, geometry=GEO)
+    ecc = EccEngine(sim, EccConfig(layout=CodewordLayout(data_bytes=2048)))
+    with pytest.raises(ValueError):
+        ZonedFtl(sim, flash, ecc, zone_blocks=0)
+    with pytest.raises(ValueError):
+        ZonedFtl(sim, flash, ecc, max_open_zones=0)
+    with pytest.raises(ValueError):
+        # 24 blocks / 12 per zone = 2 zones < 3
+        ZonedFtl(sim, flash, ecc, config=CONFIG, zone_blocks=12)
+    with pytest.raises(ValueError):
+        # slack below two zones of 4 blocks each
+        ZonedFtl(sim, flash, ecc, config=FtlConfig(op_ratio=0.05), zone_blocks=4)
+
+
+def test_registry_constructs_zoned_backend():
+    sim = Simulator()
+    flash = FlashArray(sim, geometry=GEO)
+    ecc = EccEngine(sim, EccConfig(layout=CodewordLayout(data_bytes=2048)))
+    ftl = create_backend("zoned", sim, flash, ecc, config=CONFIG, zone_blocks=2)
+    assert isinstance(ftl, ZonedFtl)
+    with pytest.raises(ValueError):
+        create_backend("hybrid", sim, flash, ecc)
+    with pytest.raises(TypeError):
+        create_backend("page", sim, flash, ecc, zone_blocks=2)
+
+
+def test_stats_and_health_keys():
+    sim, ftl = make_zoned()
+
+    def flow():
+        for lpn in range(8):
+            yield from ftl.write(lpn, bytes([lpn]) * 8)
+        yield from ftl.flush()
+
+    drive(sim, flow())
+    stats = ftl.stats()
+    # the shared dashboard keys the page FTL also reports
+    for key in ("host_reads", "host_writes", "host_pages_programmed",
+                "gc_collections", "write_amplification", "free_blocks",
+                "uncorrectable_reads", "scrub_refreshes", "wl_migrations"):
+        assert key in stats
+    health = ftl.health_stats()
+    assert set(health) == {
+        "available_spare", "bad_blocks", "gc_collections", "scrub_refreshes"
+    }
+    report = ftl.zone_report()
+    assert report["zones"] == 12
+    assert report["empty"] + report["open"] + report["full"] + report["offline"] == 12
+
+
+# -- zone semantics ---------------------------------------------------------
+
+
+def test_explicit_reset_drops_zone_data():
+    sim, ftl = make_zoned()
+
+    def flow():
+        # fill one whole zone so it closes (FULL) and leaves the open slots
+        for lpn in range(ftl.zone_pages):
+            yield from ftl.write(lpn, b"z%d" % lpn)
+        yield from ftl.flush()
+        full = [z for z in range(ftl.zone_count)
+                if ftl.zone_state(z) == ZoneState.FULL]
+        if not full:
+            # appends round-robin over two slots; force closure by writing
+            # another zone's worth
+            for lpn in range(ftl.zone_pages, 2 * ftl.zone_pages):
+                yield from ftl.write(lpn, b"y%d" % lpn)
+            yield from ftl.flush()
+            full = [z for z in range(ftl.zone_count)
+                    if ftl.zone_state(z) == ZoneState.FULL]
+        assert full, "no zone filled"
+        victim = full[0]
+        lost = [
+            lpn
+            for block in ftl._zone_block_range(victim)
+            for lpn in ftl.page_map.valid_lpns_in_block(block)
+        ]
+        assert lost, "full zone holds no live pages"
+        yield from ftl.reset_zone(victim)
+        assert ftl.zone_state(victim) == ZoneState.EMPTY
+        assert ftl.write_pointer(victim) == 0
+        for lpn in lost:
+            assert (yield from ftl.read(lpn)) is None
+
+    drive(sim, flow())
+    assert ftl.zone_resets >= 1
+
+
+def test_reset_refuses_open_zone():
+    sim, ftl = make_zoned()
+
+    def flow():
+        yield from ftl.write(0, b"x")
+        yield from ftl.flush()
+        open_zones = [z for z in range(ftl.zone_count)
+                      if ftl.zone_state(z) == ZoneState.OPEN]
+        assert open_zones
+        with pytest.raises(ValueError):
+            yield from ftl.reset_zone(open_zones[0])
+
+    drive(sim, flow())
+
+
+def test_gc_reclaims_zones_under_overwrite_churn():
+    sim, ftl = make_zoned()
+    payload = b"c" * 64
+
+    def flow():
+        for _ in range(8):
+            for lpn in range(ftl.logical_pages):
+                yield from ftl.write(lpn, payload)
+            yield from ftl.flush()
+        # copy-forward preserved the final round everywhere
+        for lpn in range(ftl.logical_pages):
+            assert (yield from ftl.read(lpn)) == payload
+
+    drive(sim, flow())
+    assert ftl.gc_collections > 0
+    assert ftl.gc_pages_relocated >= 0
+    assert ftl.write_amplification() >= 1.0
+
+
+def test_sustained_overwrite_at_full_logical_capacity():
+    """The admission/stall design never deadlocks nor reports device-full
+    while the collector can still reclaim."""
+    sim, ftl = make_zoned()
+
+    def flow():
+        for rnd in range(12):
+            for lpn in range(ftl.logical_pages):
+                yield from ftl.write(lpn, bytes([rnd]) * 16)
+            yield from ftl.flush()
+        for lpn in range(ftl.logical_pages):
+            assert (yield from ftl.read(lpn)) == bytes([11]) * 16
+
+    drive(sim, flow())
+
+
+def test_concurrent_writers_no_protocol_violation():
+    """Appends from many processes: FlashArray raises on any out-of-order
+    or reprogram, so finishing cleanly proves append-only discipline."""
+    sim, ftl = make_zoned(max_open_zones=3)
+
+    def writer(lpn):
+        for rnd in range(4):
+            yield from ftl.write(lpn, bytes([rnd]) * 8)
+
+    def flow():
+        procs = [sim.process(writer(lpn)) for lpn in range(ftl.logical_pages)]
+        for proc in procs:
+            yield proc
+        yield from ftl.flush()
+
+    drive(sim, flow())
+    # every block's programmed prefix equals its NAND write pointer
+    assert ftl.flash.stats.programs == ftl.host_pages_programmed + ftl.gc_pages_relocated
+
+
+def test_grown_bad_block_takes_zone_offline():
+    sim, ftl = make_zoned()
+
+    def flow():
+        for lpn in range(ftl.zone_pages):
+            yield from ftl.write(lpn, b"fill")
+        yield from ftl.flush()
+        full = [z for z in range(ftl.zone_count)
+                if ftl.zone_state(z) == ZoneState.FULL]
+        if not full:
+            for lpn in range(ftl.zone_pages, 2 * ftl.zone_pages):
+                yield from ftl.write(lpn, b"more")
+            yield from ftl.flush()
+            full = [z for z in range(ftl.zone_count)
+                    if ftl.zone_state(z) == ZoneState.FULL]
+        victim = full[0]
+        ftl.flash.mark_block_failed(victim * ftl.zone_blocks)
+        yield from ftl.reset_zone(victim)
+        assert ftl.zone_state(victim) == ZoneState.OFFLINE
+
+    drive(sim, flow())
+    assert ftl.zones_retired == 1
+    assert ftl.health_stats()["bad_blocks"] == ftl.zone_blocks
+
+
+def test_device_full_surfaces_as_logical_io_error():
+    """When nothing is reclaimable the stall loop gives up with a
+    device-full ``LogicalIOError`` instead of hanging; like the page FTL,
+    the failed destage is recorded on the write buffer rather than killing
+    the flusher."""
+    geometry = FlashGeometry(
+        channels=1, dies_per_channel=1, planes_per_die=1, blocks_per_plane=4,
+        pages_per_block=4, page_size=512,
+    )
+    sim = Simulator(seed=3)
+    flash = FlashArray(sim, geometry=geometry)
+    ecc = EccEngine(sim, EccConfig(layout=CodewordLayout(data_bytes=512)))
+    ftl = ZonedFtl(sim, flash, ecc,
+                   config=FtlConfig(op_ratio=0.5, write_buffer_pages=2),
+                   zone_blocks=1, max_open_zones=1)
+
+    def flow():
+        # half the pages are logical; overwrite far beyond physical space
+        # while disabling reclamation by retiring zones via erase failures
+        for block in range(geometry.blocks):
+            flash.mark_block_failed(block)
+        for rnd in range(geometry.pages * 4):
+            yield from ftl.write(rnd % ftl.logical_pages, b"x")
+            yield from ftl.flush()
+
+    drive(sim, flow())
+    assert ftl.write_buffer.failures, "device full never surfaced"
+    lpn, exc = ftl.write_buffer.failures[0]
+    assert isinstance(exc, LogicalIOError)
+    assert "device full" in str(exc)
+
+
+# -- properties -------------------------------------------------------------
+
+PGEO = FlashGeometry(
+    channels=2, dies_per_channel=1, planes_per_die=1, blocks_per_plane=6,
+    pages_per_block=4, page_size=512,
+)
+PCONF = FtlConfig(op_ratio=0.34, write_buffer_pages=4)
+# 12 blocks / 2 per zone = 6 zones of 8 pages; int(48 * (1 - 0.34)) = 31
+PLOGICAL = int((12 // 2) * (2 * 4) * (1 - 0.34))
+
+
+def make_property_ftl():
+    sim = Simulator(seed=1)
+    flash = FlashArray(sim, geometry=PGEO, error_model=BitErrorModel(rber0=1e-9))
+    ecc = EccEngine(sim, EccConfig(layout=CodewordLayout(data_bytes=512)))
+    ftl = ZonedFtl(sim, flash, ecc, config=PCONF, zone_blocks=2, max_open_zones=2)
+    return sim, ftl
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(0, PLOGICAL - 1),
+                  st.binary(min_size=1, max_size=16)),
+        st.tuples(st.just("read"), st.integers(0, PLOGICAL - 1), st.just(b"")),
+        st.tuples(st.just("trim"), st.integers(0, PLOGICAL - 1), st.just(b"")),
+        st.tuples(st.just("flush"), st.just(0), st.just(b"")),
+        st.tuples(st.just("reset"), st.integers(0, 100), st.just(b"")),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_strategy)
+def test_zoned_agrees_with_dict_oracle_across_resets(ops):
+    """read-after-write across resets + copy-forward preserves live data.
+
+    Explicit resets drop exactly the victim zone's live pages from the
+    oracle; everything else — including pages GC relocated in between —
+    must read back byte-identical.
+    """
+    sim, ftl = make_property_ftl()
+    oracle: dict[int, bytes] = {}
+    mismatches: list[tuple] = []
+
+    def resettable_zone(index: int):
+        candidates = [
+            z for z in range(ftl.zone_count)
+            if ftl.zone_state(z) == ZoneState.FULL
+            and z not in ftl._reclaiming
+            and all(z not in zones for zones in ftl._open.values())
+        ]
+        return candidates[index % len(candidates)] if candidates else None
+
+    def driver():
+        for op, arg, payload in ops:
+            if op == "write":
+                yield from ftl.write(arg, payload)
+                oracle[arg] = payload
+            elif op == "read":
+                data = yield from ftl.read(arg)
+                expected = oracle.get(arg)
+                if data != expected:
+                    mismatches.append((arg, data, expected))
+            elif op == "trim":
+                yield from ftl.trim([arg])
+                oracle.pop(arg, None)
+            elif op == "flush":
+                yield from ftl.flush()
+            else:
+                zone = resettable_zone(arg)
+                if zone is None:
+                    continue
+                dropped = [
+                    lpn
+                    for block in ftl._zone_block_range(zone)
+                    for lpn in ftl.page_map.valid_lpns_in_block(block)
+                ]
+                yield from ftl.reset_zone(zone)
+                for lpn in dropped:
+                    oracle.pop(lpn, None)
+        yield from ftl.flush()
+        for lpn in range(ftl.logical_pages):
+            data = yield from ftl.read(lpn)
+            expected = oracle.get(lpn)
+            if data != expected:
+                mismatches.append((lpn, data, expected))
+
+    sim.run(sim.process(driver()))
+    assert mismatches == []
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_strategy)
+def test_write_pointer_monotone_between_resets(ops):
+    """A zone's write pointer never decreases except through a reset
+    (host-initiated or GC's post-collection erase)."""
+    sim, ftl = make_property_ftl()
+    violations: list[tuple] = []
+
+    def snapshot():
+        return ([ftl.write_pointer(z) for z in range(ftl.zone_count)],
+                ftl.zone_resets + ftl.zones_retired)
+
+    def driver():
+        prev_wp, prev_resets = snapshot()
+        for op, arg, payload in ops:
+            if op == "write":
+                yield from ftl.write(arg, payload)
+            elif op == "read":
+                try:
+                    yield from ftl.read(arg)
+                except LogicalIOError:
+                    pass
+            elif op == "trim":
+                yield from ftl.trim([arg])
+            elif op == "flush":
+                yield from ftl.flush()
+            else:
+                candidates = [
+                    z for z in range(ftl.zone_count)
+                    if ftl.zone_state(z) == ZoneState.FULL
+                    and z not in ftl._reclaiming
+                    and all(z not in zones for zones in ftl._open.values())
+                ]
+                if candidates:
+                    yield from ftl.reset_zone(candidates[arg % len(candidates)])
+            wp, resets = snapshot()
+            for zone in range(ftl.zone_count):
+                if wp[zone] < prev_wp[zone] and resets == prev_resets:
+                    violations.append((zone, prev_wp[zone], wp[zone]))
+            prev_wp, prev_resets = wp, resets
+
+    sim.run(sim.process(driver()))
+    assert violations == []
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2**16), rounds=st.integers(2, 6))
+def test_copy_forward_preserves_live_data_under_churn(seed, rounds):
+    """Force collections with overwrite churn; every live page survives."""
+    sim = Simulator(seed=seed)
+    flash = FlashArray(sim, geometry=PGEO, error_model=BitErrorModel(rber0=1e-9))
+    ecc = EccEngine(sim, EccConfig(layout=CodewordLayout(data_bytes=512)))
+    ftl = ZonedFtl(sim, flash, ecc, config=PCONF, zone_blocks=2, max_open_zones=2)
+    survivors: list = []
+
+    def driver():
+        for rnd in range(rounds):
+            for lpn in range(ftl.logical_pages):
+                yield from ftl.write(lpn, bytes([rnd, lpn % 251]))
+        yield from ftl.flush()
+        for lpn in range(ftl.logical_pages):
+            survivors.append((yield from ftl.read(lpn)))
+
+    sim.run(sim.process(driver()))
+    assert survivors == [
+        bytes([rounds - 1, lpn % 251]) for lpn in range(ftl.logical_pages)
+    ]
